@@ -1,0 +1,157 @@
+//! One benchmark per reproduced table/figure: how long each analysis stage
+//! of the paper takes on a fixed tiny-scale week (see DESIGN.md §4 for the
+//! experiment-to-bench mapping).
+
+use std::sync::OnceLock;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use ixp_core::analyzer::{Analyzer, StudyReport, WeeklyReport};
+use ixp_core::census::ServerCensus;
+use ixp_core::cluster::{self, Clusters};
+use ixp_core::snapshot::WeeklySnapshot;
+use ixp_core::{baseline, blindspots, hetero, longitudinal, visibility, WeekScan};
+use ixp_netmodel::{InternetModel, ScaleConfig, Week};
+
+fn model() -> &'static InternetModel {
+    static M: OnceLock<InternetModel> = OnceLock::new();
+    M.get_or_init(|| InternetModel::generate(ScaleConfig::tiny(), 42))
+}
+
+fn analyzer() -> &'static Analyzer<'static> {
+    static A: OnceLock<Analyzer<'static>> = OnceLock::new();
+    A.get_or_init(|| Analyzer::new(model()))
+}
+
+fn study() -> &'static StudyReport {
+    static S: OnceLock<StudyReport> = OnceLock::new();
+    S.get_or_init(|| analyzer().run_study(1))
+}
+
+fn reference() -> &'static WeeklyReport {
+    study().reference()
+}
+
+fn clusters() -> &'static Clusters {
+    static C: OnceLock<Clusters> = OnceLock::new();
+    C.get_or_init(|| cluster::cluster(reference(), &analyzer().dns))
+}
+
+fn feed_bytes() -> &'static Vec<Vec<u8>> {
+    static F: OnceLock<Vec<Vec<u8>>> = OnceLock::new();
+    F.get_or_init(|| analyzer().feed(Week::REFERENCE).collect())
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    // E1/Fig. 1 — the filtering cascade is the scan itself.
+    c.bench_function("fig1_filtering_scan", |b| {
+        let members = model().registry.members_at(Week::REFERENCE).len() as u32;
+        b.iter(|| {
+            let mut scan = WeekScan::new(Week::REFERENCE, members);
+            for dg in feed_bytes() {
+                scan.ingest(dg);
+            }
+            black_box(scan.unique_ips())
+        })
+    });
+
+    // E7 — server identification (census incl. HTTPS crawling).
+    c.bench_function("serverid_census", |b| {
+        let members = model().registry.members_at(Week::REFERENCE).len() as u32;
+        let mut scan = WeekScan::new(Week::REFERENCE, members);
+        for dg in feed_bytes() {
+            scan.ingest(dg);
+        }
+        b.iter(|| {
+            let census = ServerCensus::identify(&scan, model(), &analyzer().dns, &analyzer().crawl);
+            black_box(census.len())
+        })
+    });
+
+    // E3/Table 1 (and the shared aggregates behind Tables 2-3, Fig. 3).
+    c.bench_function("table1_snapshot_build", |b| {
+        let members = model().registry.members_at(Week::REFERENCE).len() as u32;
+        let mut scan = WeekScan::new(Week::REFERENCE, members);
+        for dg in feed_bytes() {
+            scan.ingest(dg);
+        }
+        let census = ServerCensus::identify(&scan, model(), &analyzer().dns, &analyzer().crawl);
+        b.iter(|| {
+            let snap = WeeklySnapshot::build(&scan, &census, model());
+            black_box(snap.peering.ips)
+        })
+    });
+
+    // E5/Table 2 + E6/Table 3 + E2/Fig. 2 renderers.
+    c.bench_function("table2_top_contributors", |b| {
+        b.iter(|| black_box(visibility::table2(&reference().snapshot, model(), 10)))
+    });
+    c.bench_function("table3_locality", |b| {
+        b.iter(|| black_box(visibility::table3(&reference().snapshot)))
+    });
+    c.bench_function("fig2_rank", |b| {
+        b.iter(|| black_box(visibility::fig2(reference()).top34_share))
+    });
+
+    // E9-E12 — the longitudinal churn sweep over 17 weeks.
+    c.bench_function("fig4_fig5_churn", |b| {
+        b.iter(|| {
+            let (a, _, c4, f5) = longitudinal::churn(study());
+            black_box(longitudinal::summary(&a, &c4, &f5).stable_ip_share)
+        })
+    });
+
+    // E17 — clustering.
+    c.bench_function("cluster_pipeline", |b| {
+        b.iter(|| black_box(cluster::cluster(reference(), &analyzer().dns).clusters.len()))
+    });
+
+    // E18/E19 — heterogeneity scatters.
+    c.bench_function("fig6_hetero", |b| {
+        b.iter(|| {
+            let b6 = hetero::fig6b(clusters(), 2, 50);
+            let c6 = hetero::fig6c(reference(), clusters(), 1);
+            black_box((b6.points.len(), c6.points.len()))
+        })
+    });
+
+    // E20 — Fig. 7 link attribution (re-streams the week).
+    c.bench_function("fig7_links", |b| {
+        b.iter(|| {
+            black_box(
+                hetero::link_usage(analyzer(), reference(), clusters(), "akamai.example")
+                    .map(|f| f.offlink_share),
+            )
+        })
+    });
+
+    // E23 — the resolver campaign.
+    c.bench_function("blindspot_campaign", |b| {
+        b.iter(|| {
+            black_box(
+                blindspots::resolver_campaign(analyzer(), reference(), Week::REFERENCE, 4).found,
+            )
+        })
+    });
+
+    // E24 — the port-classification baseline (re-streams the week).
+    c.bench_function("baseline_portclass", |b| {
+        b.iter(|| black_box(baseline::port_baseline(analyzer(), reference()).port_servers))
+    });
+
+    // Vote-key ablation for the §5.1 majority vote (DESIGN.md §5): how much
+    // slower/better footprint-weighted voting is vs the bare count.
+    c.bench_function("cluster_vote_ablation_validate", |b| {
+        b.iter(|| {
+            let cl = cluster::cluster(reference(), &analyzer().dns);
+            black_box(cluster::validate_clusters(&cl, reference(), model()).false_positive_rate)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipeline
+}
+criterion_main!(benches);

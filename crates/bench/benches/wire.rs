@@ -1,0 +1,132 @@
+//! Microbenchmarks for the byte-level substrate: frame dissection, sFlow
+//! encode/decode, HTTP string matching, and routing lookups — the inner
+//! loops every reproduced table and figure pays for.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use ixp_netmodel::{InternetModel, ScaleConfig, Week};
+use ixp_sflow::Datagram;
+use ixp_traffic::{MixConfig, WeekStream};
+use ixp_wire::dissect::Dissection;
+
+fn collect_test_data() -> (InternetModel, Vec<Vec<u8>>, Vec<Vec<u8>>) {
+    let model = InternetModel::generate(ScaleConfig::tiny(), 42);
+    let datagrams: Vec<Vec<u8>> =
+        WeekStream::with_budget(&model, MixConfig::default(), Week::REFERENCE, 42, 7_000)
+            .collect();
+    let snippets: Vec<Vec<u8>> = datagrams
+        .iter()
+        .flat_map(|bytes| {
+            Datagram::decode(bytes)
+                .unwrap()
+                .samples
+                .into_iter()
+                .map(|s| s.record.header)
+        })
+        .collect();
+    (model, datagrams, snippets)
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let (model, datagrams, snippets) = collect_test_data();
+
+    let mut group = c.benchmark_group("wire");
+    group.throughput(Throughput::Elements(snippets.len() as u64));
+    group.bench_function("dissect_snippets", |b| {
+        b.iter(|| {
+            let mut flows = 0usize;
+            for s in &snippets {
+                if let Ok(d) = Dissection::parse(s) {
+                    if d.flow_key().is_some() {
+                        flows += 1;
+                    }
+                }
+            }
+            black_box(flows)
+        })
+    });
+    group.bench_function("http_classify", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for s in &snippets {
+                if let Ok(d) = Dissection::parse(s) {
+                    if !matches!(
+                        ixp_core::http::classify(d.payload()),
+                        ixp_core::http::HttpEvidence::None
+                    ) {
+                        hits += 1;
+                    }
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("sflow");
+    group.throughput(Throughput::Elements(datagrams.len() as u64));
+    group.bench_function("decode_datagrams", |b| {
+        b.iter(|| {
+            let mut samples = 0usize;
+            for d in &datagrams {
+                samples += Datagram::decode(d).unwrap().samples.len();
+            }
+            black_box(samples)
+        })
+    });
+    let decoded: Vec<Datagram> = datagrams.iter().map(|d| Datagram::decode(d).unwrap()).collect();
+    group.bench_function("encode_datagrams", |b| {
+        b.iter(|| {
+            let mut bytes = 0usize;
+            for d in &decoded {
+                bytes += d.encode().len();
+            }
+            black_box(bytes)
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("routing");
+    let probes: Vec<std::net::Ipv4Addr> = snippets
+        .iter()
+        .filter_map(|s| Dissection::parse(s).ok().and_then(|d| d.flow_key()))
+        .map(|k| k.src)
+        .take(4_096)
+        .collect();
+    group.throughput(Throughput::Elements(probes.len() as u64));
+    group.bench_function("lookup", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for ip in &probes {
+                if model.routing.lookup(*ip).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("generator");
+    group.throughput(Throughput::Elements(2_000 * 7));
+    group.bench_function("week_stream_2k_datagrams", |b| {
+        b.iter(|| {
+            let stream = WeekStream::with_budget(
+                &model,
+                MixConfig::default(),
+                Week::REFERENCE,
+                7,
+                2_000 * 7,
+            );
+            black_box(stream.count())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_wire
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Scratch diagnostics for calibration (not part of the reproduction
+//! harness; see `repro.rs` for that).
+
+use ixp_core::analyzer::Analyzer;
+use ixp_core::{changes, cluster, hetero};
+use ixp_netmodel::{InternetModel, Week};
+
+fn main() {
+    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(31);
+    let model = Box::leak(Box::new(InternetModel::tiny(seed)));
+    let analyzer = Analyzer::new(model);
+    let study = analyzer.run_study(8);
+
+    println!("== https trend ==");
+    let trend = changes::https_trend(&study);
+    for p in &trend.points {
+        println!(
+            "  {}: servers {:.2}%  traffic {:.3}%",
+            p.week.0, p.server_share, p.traffic_share
+        );
+    }
+    println!("  slopes: server {:.4}, traffic {:.4}", trend.server_slope, trend.traffic_slope);
+
+    println!("== sc-us-east-1 ==");
+    let series = changes::range_series(&study, "sc-us-east-1");
+    for (w, c, b) in &series.points {
+        println!("  {}: {} servers, {} bytes", w.0, c, b);
+    }
+
+    println!("== akamai cluster ==");
+    let report = study.reference();
+    let clusters = cluster::cluster(report, &analyzer.dns);
+    match clusters.by_key("akamai.example") {
+        Some((_, c)) => println!("  size {} ases {} bytes {}", c.size, c.ases, c.bytes),
+        None => println!("  NOT FOUND"),
+    }
+    println!(
+        "  steps: {:?} shares {:?} unclustered {}",
+        clusters.step_counts,
+        clusters.step_shares(),
+        clusters.unclustered
+    );
+
+    println!("== fig7 akamai ==");
+    if let Some(f) = hetero::link_usage(&analyzer, report, &clusters, "akamai.example") {
+        println!(
+            "  offlink {:.1}%  servers {}/{} via other links, home member {}",
+            f.offlink_share,
+            f.servers_via_other_links,
+            f.servers_total,
+            f.home_member.0
+        );
+    } else {
+        println!("  NO DATA");
+    }
+
+    println!("== ground truth akamai ==");
+    let ak = model.orgs.archetype(ixp_netmodel::Archetype::Akamai);
+    let (vis, hid, ases) = model.servers.footprint(ak.id, Week::REFERENCE);
+    println!("  visible {vis} hidden {hid} ases {ases} home {:?}", ak.home_asn);
+}

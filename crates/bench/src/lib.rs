@@ -1,0 +1,2 @@
+//! Shared helpers for the `ixp-bench` reproduction harness (see `src/bin`
+//! and `benches/`).

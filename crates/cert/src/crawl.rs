@@ -1,0 +1,359 @@
+//! The active HTTPS crawl simulation.
+//!
+//! Feed it the candidate IPs that showed traffic on TCP 443 and it behaves
+//! like the live Internet did for the authors: most candidates never
+//! complete a TLS handshake (SSH/VPN tunnels riding 443 through firewalls,
+//! clients, dead hosts), real HTTPS servers present their chains — a
+//! calibrated share of which is broken in one of the classic ways — and
+//! role-flipping cloud IPs answer differently on every visit.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use ixp_netmodel::{InternetModel, OrgKind, ServerFlags, Week};
+
+use crate::x509::{Certificate, Chain, KeyUsage, RootStore};
+
+/// Result of one crawl attempt against an IP.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CrawlResult {
+    /// No TCP answer / handshake timeout.
+    NoAnswer,
+    /// Something answered on 443, but it does not speak TLS (SSH, VPN,
+    /// proxies — the firewall-circumvention traffic the paper filters out).
+    NotTls,
+    /// A TLS handshake delivered this certificate chain.
+    Tls(Chain),
+}
+
+/// How a server's certificate is broken, if it is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Defect {
+    None,
+    Expired,
+    SelfSigned,
+    BadSubject,
+    WrongKeyUsage,
+    ShuffledChain,
+    BadCcsld,
+    /// Role-flipping cloud IP: presents a different identity per attempt.
+    Flaky,
+}
+
+#[derive(Debug, Clone)]
+struct CertProfile {
+    chain: Chain,
+    defect: Defect,
+}
+
+/// The crawl simulator.
+#[derive(Debug)]
+pub struct CrawlSim {
+    profiles: HashMap<u32, CertProfile>,
+    seed: u64,
+}
+
+impl CrawlSim {
+    /// Build certificate profiles for every HTTPS-capable server.
+    pub fn build(model: &InternetModel, seed: u64) -> CrawlSim {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xA5A5_0009);
+        let store = RootStore::default_store();
+        let mut profiles = HashMap::new();
+        for server in model.servers.servers() {
+            if !server.flags.has(ServerFlags::HTTPS) {
+                continue;
+            }
+            let org = model.orgs.get(server.org);
+            let defect = match rng.gen::<f64>() {
+                x if x < 0.52 => Defect::None,
+                x if x < 0.60 => Defect::Expired,
+                x if x < 0.68 => Defect::SelfSigned,
+                x if x < 0.74 => Defect::BadSubject,
+                x if x < 0.79 => Defect::WrongKeyUsage,
+                x if x < 0.84 => Defect::ShuffledChain,
+                x if x < 0.88 => Defect::BadCcsld,
+                _ => Defect::Flaky,
+            };
+            // Cloud/hoster IPs are the flaky ones in practice; bias there.
+            let defect = if defect == Defect::Flaky
+                && !matches!(org.kind, OrgKind::Cloud | OrgKind::Hoster | OrgKind::MetaHoster)
+            {
+                Defect::None
+            } else {
+                defect
+            };
+
+            let subject = match defect {
+                Defect::BadSubject => "localhost".to_string(),
+                Defect::BadCcsld => format!("www.{}.invalid-ccsld", org.name.to_lowercase()),
+                _ => org
+                    .domains
+                    .first()
+                    .cloned()
+                    .unwrap_or_else(|| format!("www.{}", org.soa_domain)),
+            };
+            // SANs: hosting companies pack many customer names onto one
+            // certificate (§2.4 — used to find additional URIs).
+            let san_count = match org.kind {
+                OrgKind::Hoster | OrgKind::MetaHoster => 6.min(org.domains.len()),
+                _ => 2.min(org.domains.len()),
+            };
+            let offset = rng.gen_range(0..org.domains.len().max(1));
+            let alt_names: Vec<String> = (0..san_count)
+                .map(|k| org.domains[(offset + k) % org.domains.len()].clone())
+                .collect();
+
+            let ca = rng.gen_range(1..=4u8);
+            let root = ["Root CA Alpha", "Root CA Beta", "Root CA Gamma", "Root CA Delta"]
+                [(ca - 1) as usize];
+            debug_assert!(store.trusts(root));
+            let (not_before, not_after) = match defect {
+                Defect::Expired => (10u8, 40u8), // dies mid-study
+                _ => (10, 120),
+            };
+            let leaf = Certificate {
+                subject,
+                alt_names,
+                issuer: format!("Intermediate CA {ca}"),
+                key_usage: if defect == Defect::WrongKeyUsage {
+                    KeyUsage::ClientAuth
+                } else {
+                    KeyUsage::ServerAuth
+                },
+                not_before,
+                not_after,
+            };
+            let intermediate = Certificate {
+                subject: format!("Intermediate CA {ca}"),
+                alt_names: vec![],
+                issuer: root.to_string(),
+                key_usage: KeyUsage::CertSign,
+                not_before: 0,
+                not_after: 255,
+            };
+            let mut certs = match defect {
+                Defect::SelfSigned => {
+                    let mut c = leaf.clone();
+                    c.issuer = c.subject.clone();
+                    vec![c]
+                }
+                _ => vec![leaf, intermediate],
+            };
+            if defect == Defect::ShuffledChain {
+                certs.reverse();
+            }
+            profiles.insert(u32::from(server.ip), CertProfile { chain: Chain { certs }, defect });
+        }
+        CrawlSim { profiles, seed }
+    }
+
+    /// Crawl an IP in a given week (attempt counter distinguishes repeated
+    /// fetches for the stability check).
+    pub fn fetch(
+        &self,
+        model: &InternetModel,
+        ip: Ipv4Addr,
+        week: Week,
+        attempt: u32,
+    ) -> CrawlResult {
+        match model.servers.by_ip(ip) {
+            None => {
+                // Not a server: VPN/SSH endpoints answer without TLS; the
+                // rest never respond. Deterministic per IP.
+                if self.coin(ip, 0x51, 0.10) {
+                    CrawlResult::NotTls
+                } else {
+                    CrawlResult::NoAnswer
+                }
+            }
+            Some(server) => {
+                if !server.exists_in(week) {
+                    return CrawlResult::NoAnswer;
+                }
+                if server.flags.has(ServerFlags::HTTPS) && !server.https_in(week) {
+                    // TLS not enabled yet on this IP.
+                    return CrawlResult::NoAnswer;
+                }
+                match self.profiles.get(&u32::from(ip)) {
+                    None => {
+                        // A server, but not an HTTPS one: a sliver runs
+                        // non-TLS services on 443.
+                        if self.coin(ip, 0x52, 0.08) {
+                            CrawlResult::NotTls
+                        } else {
+                            CrawlResult::NoAnswer
+                        }
+                    }
+                    Some(profile) => {
+                        let mut chain = profile.chain.clone();
+                        if profile.defect == Defect::Flaky {
+                            // Present a different tenant identity per visit.
+                            if let Some(leaf) = chain.certs.first_mut() {
+                                leaf.subject = format!(
+                                    "tenant-{}.{}",
+                                    (u32::from(ip) ^ attempt).wrapping_mul(2654435761) % 100_000,
+                                    leaf.subject
+                                );
+                            }
+                        }
+                        CrawlResult::Tls(chain)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Crawl an IP several times across two weeks, as the paper does, and
+    /// hand back the fetches for validation.
+    pub fn fetch_repeatedly(
+        &self,
+        model: &InternetModel,
+        ip: Ipv4Addr,
+        week: Week,
+        attempts: u32,
+    ) -> Vec<(Chain, u8)> {
+        let mut out = Vec::new();
+        for a in 0..attempts {
+            // Alternate between this week and the previous one (clamped to
+            // the start of the study).
+            let w = Week(week.0.saturating_sub((a % 2) as u8).max(Week::FIRST.0));
+            if let CrawlResult::Tls(chain) = self.fetch(model, ip, w, a) {
+                out.push((chain, w.0));
+            }
+        }
+        out
+    }
+
+    fn coin(&self, ip: Ipv4Addr, salt: u32, p: f64) -> bool {
+        let x = (u32::from(ip) ^ salt.wrapping_mul(0x85EB_CA6B))
+            .wrapping_mul(0x9E37_79B9)
+            .wrapping_add(self.seed as u32);
+        (x as f64 / u32::MAX as f64) < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::{validate_fetches, ValidationError};
+
+    fn build() -> (InternetModel, CrawlSim) {
+        let model = InternetModel::tiny(41);
+        let sim = CrawlSim::build(&model, 41);
+        (model, sim)
+    }
+
+    #[test]
+    fn https_servers_answer_tls() {
+        let (model, sim) = build();
+        let server = model
+            .servers
+            .servers()
+            .iter()
+            .find(|s| s.flags.has(ServerFlags::HTTPS) && s.active_in(Week::REFERENCE))
+            .unwrap();
+        match sim.fetch(&model, server.ip, Week::REFERENCE, 0) {
+            CrawlResult::Tls(chain) => assert!(!chain.certs.is_empty()),
+            other => panic!("expected TLS, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_https_servers_mostly_silent() {
+        let (model, sim) = build();
+        let mut answers = 0;
+        let mut total = 0;
+        for s in model.servers.servers().iter().filter(|s| !s.flags.has(ServerFlags::HTTPS)) {
+            total += 1;
+            if sim.fetch(&model, s.ip, Week::REFERENCE, 0) != CrawlResult::NoAnswer
+                && s.active_in(Week::REFERENCE)
+            {
+                answers += 1;
+            }
+        }
+        assert!(total > 0);
+        assert!((answers as f64) < total as f64 * 0.3, "{answers}/{total} answered");
+    }
+
+    #[test]
+    fn inactive_weeks_do_not_answer() {
+        let (model, sim) = build();
+        if let Some(s) = model
+            .servers
+            .servers()
+            .iter()
+            .find(|s| s.flags.has(ServerFlags::HTTPS) && !s.exists_in(Week::FIRST) && s.exists_in(Week::LAST))
+        {
+            assert_eq!(sim.fetch(&model, s.ip, Week::FIRST, 0), CrawlResult::NoAnswer);
+            assert!(matches!(sim.fetch(&model, s.ip, Week::LAST, 0), CrawlResult::Tls(_)));
+        }
+    }
+
+    #[test]
+    fn validation_funnel_accepts_some_rejects_some() {
+        let (model, sim) = build();
+        let store = RootStore::default_store();
+        let mut valid = 0;
+        let mut invalid = 0;
+        for s in model.servers.servers() {
+            if !s.flags.has(ServerFlags::HTTPS) || !s.active_in(Week::REFERENCE) {
+                continue;
+            }
+            let fetches = sim.fetch_repeatedly(&model, s.ip, Week::REFERENCE, 3);
+            match validate_fetches(&fetches, &store) {
+                Ok(_) => valid += 1,
+                Err(_) => invalid += 1,
+            }
+        }
+        assert!(valid > 0, "nothing validated");
+        assert!(invalid > 0, "nothing rejected — defects not firing");
+        let rate = valid as f64 / (valid + invalid) as f64;
+        // The paper validates ≈ 50 % of responders.
+        assert!((0.3..0.8).contains(&rate), "valid rate {rate:.2}");
+    }
+
+    #[test]
+    fn flaky_ips_fail_the_stability_check() {
+        let (model, sim) = build();
+        let store = RootStore::default_store();
+        let mut saw_unstable = false;
+        for s in model.servers.servers() {
+            if !s.flags.has(ServerFlags::HTTPS) || !s.active_in(Week::REFERENCE) {
+                continue;
+            }
+            let fetches = sim.fetch_repeatedly(&model, s.ip, Week::REFERENCE, 4);
+            if validate_fetches(&fetches, &store) == Err(ValidationError::Unstable) {
+                saw_unstable = true;
+                break;
+            }
+        }
+        assert!(saw_unstable, "no role-flipping cloud IPs in the population");
+    }
+
+    #[test]
+    fn non_servers_never_deliver_tls() {
+        let (model, sim) = build();
+        for probe in [Ipv4Addr::new(2, 3, 4, 5), Ipv4Addr::new(200, 1, 2, 3)] {
+            if model.servers.by_ip(probe).is_none() {
+                assert!(!matches!(
+                    sim.fetch(&model, probe, Week::REFERENCE, 0),
+                    CrawlResult::Tls(_)
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let (model, sim) = build();
+        let sim2 = CrawlSim::build(&model, 41);
+        for s in model.servers.servers().iter().take(100) {
+            assert_eq!(
+                sim.fetch(&model, s.ip, Week::REFERENCE, 1),
+                sim2.fetch(&model, s.ip, Week::REFERENCE, 1)
+            );
+        }
+    }
+}

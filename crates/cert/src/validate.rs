@@ -1,0 +1,240 @@
+//! The six-check validation pipeline of paper §2.2.2.
+
+use crate::x509::{domain_is_valid, Chain, KeyUsage, RootStore};
+
+/// Why a chain failed validation. Ordered like the paper's checks (a)–(f).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValidationError {
+    /// (a) subject is not a valid domain / valid ccSLD.
+    BadSubject,
+    /// (b) an alternative name is invalid.
+    BadAltName,
+    /// (c) key usage does not indicate a server role.
+    BadKeyUsage,
+    /// (d) the chain does not reference itself in order up to a trusted root.
+    BadChain,
+    /// (e) some certificate was not valid at fetch time.
+    Expired,
+    /// (f) repeated fetches disagreed (role-flipping cloud IP).
+    Unstable,
+    /// The chain was empty.
+    Empty,
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ValidationError::BadSubject => "invalid certificate subject",
+            ValidationError::BadAltName => "invalid alternative name",
+            ValidationError::BadKeyUsage => "key usage is not server-auth",
+            ValidationError::BadChain => "broken certificate chain",
+            ValidationError::Expired => "certificate outside validity window",
+            ValidationError::Unstable => "unstable across repeated fetches",
+            ValidationError::Empty => "empty chain",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// What a validated certificate tells the pipeline (§2.4 meta-data).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidatedInfo {
+    /// The subject domain.
+    pub subject: String,
+    /// All (valid) names the certificate covers.
+    pub names: Vec<String>,
+}
+
+/// Run checks (a)–(e) on a single fetched chain.
+pub fn validate_chain(
+    chain: &Chain,
+    store: &RootStore,
+    fetch_week: u8,
+) -> Result<ValidatedInfo, ValidationError> {
+    let leaf = chain.leaf().ok_or(ValidationError::Empty)?;
+
+    // (a) subject.
+    if !domain_is_valid(&leaf.subject) {
+        return Err(ValidationError::BadSubject);
+    }
+    // (b) alternative names.
+    if leaf.alt_names.iter().any(|n| !domain_is_valid(n)) {
+        return Err(ValidationError::BadAltName);
+    }
+    // (c) key usage.
+    if leaf.key_usage != KeyUsage::ServerAuth {
+        return Err(ValidationError::BadKeyUsage);
+    }
+    // (d) chain order: each certificate's issuer must be the subject of the
+    // next one, every non-leaf must be a CA cert, and the last issuer must
+    // be in the trust store.
+    for pair in chain.certs.windows(2) {
+        if pair[0].issuer != pair[1].subject {
+            return Err(ValidationError::BadChain);
+        }
+        if pair[1].key_usage != KeyUsage::CertSign {
+            return Err(ValidationError::BadChain);
+        }
+    }
+    let last = chain.certs.last().unwrap();
+    if chain.certs.len() == 1 {
+        // A single self-signed certificate can never chain to the store.
+        if leaf.self_signed() || !store.trusts(&leaf.issuer) {
+            return Err(ValidationError::BadChain);
+        }
+    } else if !store.trusts(&last.issuer) {
+        return Err(ValidationError::BadChain);
+    }
+    // (e) validity time at fetch.
+    if chain.certs.iter().any(|c| !c.valid_at(fetch_week)) {
+        return Err(ValidationError::Expired);
+    }
+
+    let mut names = vec![leaf.subject.clone()];
+    names.extend(leaf.alt_names.iter().cloned());
+    Ok(ValidatedInfo { subject: leaf.subject.clone(), names })
+}
+
+/// Run the full pipeline over repeated fetches of the same IP: every fetch
+/// must validate individually, and — ignoring validity time — all fetched
+/// chains must agree (check (f)).
+pub fn validate_fetches(
+    fetches: &[(Chain, u8)],
+    store: &RootStore,
+) -> Result<ValidatedInfo, ValidationError> {
+    if fetches.is_empty() {
+        return Err(ValidationError::Empty);
+    }
+    let mut first: Option<ValidatedInfo> = None;
+    for (chain, week) in fetches {
+        let info = validate_chain(chain, store, *week)?;
+        match &first {
+            None => first = Some(info),
+            Some(prev) => {
+                if prev != &info {
+                    return Err(ValidationError::Unstable);
+                }
+            }
+        }
+    }
+    Ok(first.unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::x509::Certificate;
+
+    fn good_chain() -> Chain {
+        Chain {
+            certs: vec![
+                Certificate {
+                    subject: "www.shop.example".into(),
+                    alt_names: vec!["shop.example".into(), "*.shop.example".into()],
+                    issuer: "Intermediate CA 1".into(),
+                    key_usage: KeyUsage::ServerAuth,
+                    not_before: 20,
+                    not_after: 70,
+                },
+                Certificate {
+                    subject: "Intermediate CA 1".into(),
+                    alt_names: vec![],
+                    issuer: "Root CA Alpha".into(),
+                    key_usage: KeyUsage::CertSign,
+                    not_before: 0,
+                    not_after: 200,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn good_chain_validates() {
+        let store = RootStore::default_store();
+        let info = validate_chain(&good_chain(), &store, 45).unwrap();
+        assert_eq!(info.subject, "www.shop.example");
+        assert_eq!(info.names.len(), 3);
+    }
+
+    #[test]
+    fn bad_subject_rejected() {
+        let store = RootStore::default_store();
+        let mut chain = good_chain();
+        chain.certs[0].subject = "localhost".into();
+        assert_eq!(validate_chain(&chain, &store, 45).unwrap_err(), ValidationError::BadSubject);
+    }
+
+    #[test]
+    fn bad_alt_name_rejected() {
+        let store = RootStore::default_store();
+        let mut chain = good_chain();
+        chain.certs[0].alt_names.push("192.0.2.1".into());
+        assert_eq!(validate_chain(&chain, &store, 45).unwrap_err(), ValidationError::BadAltName);
+    }
+
+    #[test]
+    fn wrong_key_usage_rejected() {
+        let store = RootStore::default_store();
+        let mut chain = good_chain();
+        chain.certs[0].key_usage = KeyUsage::ClientAuth;
+        assert_eq!(validate_chain(&chain, &store, 45).unwrap_err(), ValidationError::BadKeyUsage);
+    }
+
+    #[test]
+    fn shuffled_chain_rejected() {
+        let store = RootStore::default_store();
+        let mut chain = good_chain();
+        chain.certs.swap(0, 1);
+        assert!(validate_chain(&chain, &store, 45).is_err());
+    }
+
+    #[test]
+    fn untrusted_root_rejected() {
+        let store = RootStore::default_store();
+        let mut chain = good_chain();
+        chain.certs[1].issuer = "Shady Root".into();
+        assert_eq!(validate_chain(&chain, &store, 45).unwrap_err(), ValidationError::BadChain);
+    }
+
+    #[test]
+    fn self_signed_rejected() {
+        let store = RootStore::default_store();
+        let mut chain = good_chain();
+        chain.certs.truncate(1);
+        chain.certs[0].issuer = chain.certs[0].subject.clone();
+        assert_eq!(validate_chain(&chain, &store, 45).unwrap_err(), ValidationError::BadChain);
+    }
+
+    #[test]
+    fn expired_rejected_but_only_outside_window() {
+        let store = RootStore::default_store();
+        let chain = good_chain();
+        assert!(validate_chain(&chain, &store, 80).is_err());
+        assert!(validate_chain(&chain, &store, 45).is_ok());
+    }
+
+    #[test]
+    fn stability_check_detects_role_flips() {
+        let store = RootStore::default_store();
+        let a = good_chain();
+        let mut b = good_chain();
+        b.certs[0].subject = "www.other.example".into();
+        b.certs[0].alt_names.clear();
+        let ok = validate_fetches(&[(a.clone(), 44), (a.clone(), 45)], &store);
+        assert!(ok.is_ok());
+        let flip = validate_fetches(&[(a, 44), (b, 45)], &store);
+        assert_eq!(flip.unwrap_err(), ValidationError::Unstable);
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        let store = RootStore::default_store();
+        assert_eq!(
+            validate_chain(&Chain { certs: vec![] }, &store, 45).unwrap_err(),
+            ValidationError::Empty
+        );
+        assert_eq!(validate_fetches(&[], &store).unwrap_err(), ValidationError::Empty);
+    }
+}

@@ -1,0 +1,211 @@
+//! Orchestration: run the full measurement pipeline for a week or for the
+//! whole 17-week study.
+//!
+//! The [`Analyzer`] owns the measurement instruments (DNS database, HTTPS
+//! crawler, open-resolver pool) and consumes the sFlow feed produced by
+//! `ixp-traffic` — the byte-level stand-in for the IXP's collector. The
+//! analysis itself only ever sees encoded datagrams plus public data;
+//! ground truth is used exclusively by the `validate` APIs, which are
+//! clearly named as such.
+
+use ixp_cert::CrawlSim;
+use ixp_dns::{DnsDb, ResolverPool};
+use ixp_netmodel::{InternetModel, Week};
+use ixp_traffic::{MixConfig, WeekStream};
+
+use crate::census::ServerCensus;
+use crate::scan::WeekScan;
+use crate::snapshot::WeeklySnapshot;
+
+/// The result of analysing one week.
+#[derive(Debug)]
+pub struct WeeklyReport {
+    /// Aggregates for the tables/figures.
+    pub snapshot: WeeklySnapshot,
+    /// The identified servers with their meta-data.
+    pub census: ServerCensus,
+}
+
+/// The full study: one report per week, in week order.
+#[derive(Debug)]
+pub struct StudyReport {
+    /// Weekly reports for weeks 35–51.
+    pub weeks: Vec<WeeklyReport>,
+}
+
+impl StudyReport {
+    /// Report for one week.
+    pub fn week(&self, week: Week) -> &WeeklyReport {
+        &self.weeks[week.index()]
+    }
+
+    /// The reference-week report (week 45).
+    pub fn reference(&self) -> &WeeklyReport {
+        self.week(Week::REFERENCE)
+    }
+}
+
+/// The analysis harness.
+pub struct Analyzer<'m> {
+    /// The synthetic Internet (public fields only, except in `validate`).
+    pub model: &'m InternetModel,
+    /// The live-DNS stand-in.
+    pub dns: DnsDb,
+    /// The HTTPS crawler.
+    pub crawl: CrawlSim,
+    /// The vetted open-resolver pool.
+    pub resolvers: ResolverPool,
+    /// Traffic mix used when regenerating the feed.
+    pub mix: MixConfig,
+}
+
+impl<'m> Analyzer<'m> {
+    /// Build the instruments for a model.
+    pub fn new(model: &'m InternetModel) -> Analyzer<'m> {
+        Analyzer {
+            model,
+            dns: DnsDb::build(model),
+            crawl: CrawlSim::build(model, model.seed),
+            resolvers: ResolverPool::build(model, model.seed),
+            mix: MixConfig::default(),
+        }
+    }
+
+    /// The sFlow feed for a week (deterministic; can be re-streamed for
+    /// second-pass analyses such as Fig. 7).
+    pub fn feed(&self, week: Week) -> WeekStream<'m> {
+        WeekStream::new(self.model, self.mix.clone(), week, self.model.seed)
+    }
+
+    /// Scan one week's feed.
+    pub fn scan_week(&self, week: Week) -> WeekScan {
+        let members = self.model.registry.members_at(week).len() as u32;
+        let mut scan = WeekScan::new(week, members);
+        for datagram in self.feed(week) {
+            scan.ingest(&datagram);
+        }
+        scan
+    }
+
+    /// Run the full weekly pipeline: scan → identify → aggregate.
+    pub fn run_week(&self, week: Week) -> WeeklyReport {
+        let scan = self.scan_week(week);
+        let census = ServerCensus::identify(&scan, self.model, &self.dns, &self.crawl);
+        let snapshot = WeeklySnapshot::build(&scan, &census, self.model);
+        WeeklyReport { snapshot, census }
+    }
+
+    /// Run all 17 weeks, processing up to `parallelism` weeks concurrently.
+    pub fn run_study(&self, parallelism: usize) -> StudyReport {
+        let weeks: Vec<Week> = Week::all().collect();
+        let parallelism = parallelism.max(1);
+        let mut reports: Vec<Option<WeeklyReport>> = Vec::new();
+        reports.resize_with(weeks.len(), || None);
+
+        crossbeam::thread::scope(|scope| {
+            let (tx, rx) = crossbeam::channel::unbounded::<(usize, WeeklyReport)>();
+            let work = crossbeam::channel::unbounded::<usize>();
+            for (i, _) in weeks.iter().enumerate() {
+                work.0.send(i).unwrap();
+            }
+            drop(work.0);
+            for _ in 0..parallelism.min(weeks.len()) {
+                let tx = tx.clone();
+                let work_rx = work.1.clone();
+                let weeks = &weeks;
+                let this = &self;
+                scope.spawn(move |_| {
+                    while let Ok(i) = work_rx.recv() {
+                        let report = this.run_week(weeks[i]);
+                        tx.send((i, report)).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            while let Ok((i, report)) = rx.recv() {
+                reports[i] = Some(report);
+            }
+        })
+        .expect("study threads");
+
+        StudyReport { weeks: reports.into_iter().map(Option::unwrap).collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::Category;
+    use crate::testutil;
+
+    #[test]
+    fn weekly_pipeline_produces_coherent_report() {
+        let report = testutil::reference();
+
+        // The cascade saw traffic in every major category.
+        let total = report.snapshot.filter.total();
+        assert!(total.bytes > 0);
+        let peering = report.snapshot.filter.peering();
+        assert!(peering.bytes > 0);
+        // Peering dominates (paper: ≈ 98.5 %).
+        let share = peering.share_of(&total);
+        assert!(share > 90.0, "peering share {share:.1}");
+
+        // Servers were identified and carry traffic.
+        assert!(!report.census.is_empty());
+        assert!(report.snapshot.server.ips > 0);
+        assert!(report.snapshot.server.bytes > 0);
+
+        // TCP beats UDP.
+        let tcp = report.snapshot.filter.get(Category::PeeringTcp);
+        let udp = report.snapshot.filter.get(Category::PeeringUdp);
+        assert!(tcp.bytes > udp.bytes);
+
+        // HTTPS funnel shrinks monotonically.
+        let h = report.snapshot.https;
+        assert!(h.candidates >= h.responders);
+        assert!(h.responders >= h.confirmed);
+        assert!(h.confirmed > 0, "no HTTPS servers confirmed");
+
+        // Meta-data coverage is partial but substantial.
+        let cov = report.snapshot.coverage;
+        assert!(cov.any <= cov.total);
+        assert!(cov.pct(cov.any) > 50.0);
+        assert!(cov.pct(cov.dns) > 30.0);
+    }
+
+    #[test]
+    fn localities_partition_each_metric() {
+        let report = testutil::reference();
+        let s = &report.snapshot;
+        assert_eq!(s.peering_locality.ips.iter().sum::<u64>(), s.peering.ips);
+        assert_eq!(s.peering_locality.ases.iter().sum::<u64>(), s.peering.ases);
+        assert_eq!(
+            s.peering_locality.prefixes.iter().sum::<u64>(),
+            s.peering.prefixes
+        );
+        assert_eq!(s.server_locality.ips.iter().sum::<u64>(), s.server.ips);
+        let shares = s.peering_locality.shares(|l| l.ips);
+        assert!((shares.iter().sum::<f64>() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn study_runs_all_weeks_and_is_deterministic_per_week() {
+        let study = testutil::study();
+        assert_eq!(study.weeks.len(), Week::COUNT);
+        // Parallel study result for the reference week matches a direct run.
+        let direct = testutil::analyzer().run_week(Week::REFERENCE);
+        let via_study = study.reference();
+        assert_eq!(direct.census.len(), via_study.census.len());
+        assert_eq!(direct.snapshot.peering.ips, via_study.snapshot.peering.ips);
+        assert_eq!(direct.snapshot.filter.total(), via_study.snapshot.filter.total());
+    }
+
+    #[test]
+    fn member_count_tracks_growth() {
+        let study = testutil::study();
+        let a = study.week(Week::FIRST);
+        let b = study.week(Week::LAST);
+        assert!(b.snapshot.member_count > a.snapshot.member_count);
+    }
+}

@@ -1,0 +1,463 @@
+//! Organization clustering (paper §5.1).
+//!
+//! The three steps, implemented over the census meta-data:
+//!
+//! 1. **Consistent self-hosted SOA.** Servers whose hostname SOA resolves,
+//!    is *not* outsourced, and agrees with every available URI/certificate
+//!    authority are grouped under that zone. (Paper: 78.7 % of server IPs;
+//!    the Amazon/Akamai/Google-in-own-AS cases.)
+//! 2. **Majority vote.** Servers whose evidence exists but is outsourced or
+//!    conflicting vote among their candidate zones; the vote is weighted by
+//!    (i) the number of IPs already grouped under a zone and (ii) that
+//!    zone's network footprint in ASes. (Paper: 17.4 %; hosters, virtual
+//!    servers, meta-hosters.)
+//! 3. **Partial information.** Servers with no resolvable hostname SOA
+//!    (timeouts, missing PTR) but *some* URI/cert evidence run the same
+//!    vote over the partial evidence. (Paper: 3.9 %; CDN servers deep in
+//!    ISPs.)
+
+use std::collections::HashMap;
+
+use ixp_dns::DnsDb;
+use ixp_netmodel::InternetModel;
+
+use crate::analyzer::WeeklyReport;
+use crate::census::SoaOutcome;
+
+/// One recovered organization cluster.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// The identity key (an apex zone).
+    pub key: String,
+    /// Number of server IPs assigned.
+    pub size: usize,
+    /// Distinct ASes the cluster's servers sit in (network footprint).
+    pub ases: usize,
+    /// Total bytes of the cluster's servers.
+    pub bytes: u64,
+}
+
+/// The clustering result, aligned with the census records.
+#[derive(Debug)]
+pub struct Clusters {
+    /// Per census record: (cluster index, step that assigned it).
+    pub assignments: Vec<Option<(u32, u8)>>,
+    /// The clusters.
+    pub clusters: Vec<Cluster>,
+    /// Server IPs assigned by each step.
+    pub step_counts: [usize; 3],
+    /// Server IPs with no usable evidence.
+    pub unclustered: usize,
+}
+
+impl Clusters {
+    /// Servers covered by any step.
+    pub fn clustered_total(&self) -> usize {
+        self.step_counts.iter().sum()
+    }
+
+    /// Step shares in percent of the clustered population.
+    pub fn step_shares(&self) -> [f64; 3] {
+        let total = self.clustered_total().max(1) as f64;
+        [
+            100.0 * self.step_counts[0] as f64 / total,
+            100.0 * self.step_counts[1] as f64 / total,
+            100.0 * self.step_counts[2] as f64 / total,
+        ]
+    }
+
+    /// Find a cluster by key.
+    pub fn by_key(&self, key: &str) -> Option<(u32, &Cluster)> {
+        self.clusters
+            .iter()
+            .enumerate()
+            .find(|(_, c)| c.key == key)
+            .map(|(i, c)| (i as u32, c))
+    }
+}
+
+/// Ablation switches for the clustering heuristics (DESIGN.md §5). The
+/// default configuration is the paper's method.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Weight the §5.1 majority vote by the candidate cluster's current
+    /// size and AS footprint (the paper's "(i) number of IPs and (ii) size
+    /// of the network footprint"); when off, vote by raw evidence count
+    /// only.
+    pub footprint_weighted: bool,
+    /// Let dominated prefixes vote their evidence-less neighbours in.
+    pub prefix_vote: bool,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig { footprint_weighted: true, prefix_vote: true }
+    }
+}
+
+/// Run the three-step clustering over one week's census with the paper's
+/// configuration.
+pub fn cluster(report: &WeeklyReport, dns: &DnsDb) -> Clusters {
+    cluster_with(report, dns, ClusterConfig::default())
+}
+
+/// Run the clustering with explicit ablation switches.
+pub fn cluster_with(report: &WeeklyReport, dns: &DnsDb, cfg: ClusterConfig) -> Clusters {
+    let records = &report.census.records;
+    let geo = &report.snapshot.server_geo;
+
+    // Evidence per record: host zone (self-hosted?), and the other zones.
+    struct RecordEvidence {
+        host_zone: Option<(String, bool /* outsourced */)>,
+        host_timeout: bool,
+        other_zones: Vec<String>,
+    }
+    let evidence: Vec<RecordEvidence> = records
+        .iter()
+        .map(|r| {
+            let (host_zone, host_timeout) = match &r.host_soa {
+                SoaOutcome::Identity(id) => {
+                    (Some((id.zone.clone(), id.outsourced())), false)
+                }
+                SoaOutcome::None => (None, false),
+                SoaOutcome::Timeout => (None, true),
+            };
+            let mut other_zones = Vec::new();
+            for name in r.uris.iter().chain(r.cert_names.iter()) {
+                if let Some(id) = dns.soa_lookup(name) {
+                    other_zones.push(id.zone);
+                }
+            }
+            RecordEvidence { host_zone, host_timeout, other_zones }
+        })
+        .collect();
+
+    let mut key_to_cluster: HashMap<String, u32> = HashMap::new();
+    let mut clusters: Vec<Cluster> = Vec::new();
+    let mut cluster_as_sets: Vec<std::collections::HashSet<u32>> = Vec::new();
+    let mut assignments: Vec<Option<(u32, u8)>> = vec![None; records.len()];
+    let mut step_counts = [0usize; 3];
+
+    let assign =
+        |key: &str,
+         idx: usize,
+         step: u8,
+         key_to_cluster: &mut HashMap<String, u32>,
+         clusters: &mut Vec<Cluster>,
+         cluster_as_sets: &mut Vec<std::collections::HashSet<u32>>,
+         assignments: &mut Vec<Option<(u32, u8)>>,
+         step_counts: &mut [usize; 3]| {
+            let cid = *key_to_cluster.entry(key.to_string()).or_insert_with(|| {
+                clusters.push(Cluster {
+                    key: key.to_string(),
+                    size: 0,
+                    ases: 0,
+                    bytes: 0,
+                });
+                cluster_as_sets.push(std::collections::HashSet::new());
+                (clusters.len() - 1) as u32
+            });
+            clusters[cid as usize].size += 1;
+            clusters[cid as usize].bytes += records[idx].bytes;
+            if let Some(g) = geo[idx] {
+                cluster_as_sets[cid as usize].insert(g.as_idx);
+            }
+            assignments[idx] = Some((cid, step));
+            step_counts[(step - 1) as usize] += 1;
+        };
+
+    // Step 1. A busy server accumulates the odd third-party URI (embedded
+    // content), so consistency tolerates a small conflicting minority
+    // rather than demanding unanimity.
+    for (idx, ev) in evidence.iter().enumerate() {
+        if let Some((zone, outsourced)) = &ev.host_zone {
+            let matching = ev.other_zones.iter().filter(|z| *z == zone).count();
+            let conflicting = ev.other_zones.len() - matching;
+            // Accept when at most a quarter of the URI/cert evidence points
+            // elsewhere.
+            if !outsourced && conflicting * 4 <= ev.other_zones.len() {
+                assign(
+                    zone,
+                    idx,
+                    1,
+                    &mut key_to_cluster,
+                    &mut clusters,
+                    &mut cluster_as_sets,
+                    &mut assignments,
+                    &mut step_counts,
+                );
+            }
+        }
+    }
+
+    // Steps 2 and 3: majority vote over candidate zones, weighted by the
+    // clusters built so far (number of IPs, then footprint).
+    for step in [2u8, 3u8] {
+        for (idx, ev) in evidence.iter().enumerate() {
+            if assignments[idx].is_some() {
+                continue;
+            }
+            let in_step = match step {
+                2 => ev.host_zone.is_some(),
+                _ => ev.host_zone.is_none() && (ev.host_timeout || !ev.other_zones.is_empty()),
+            };
+            if !in_step {
+                continue;
+            }
+            // Candidate multiset.
+            let mut votes: HashMap<&str, usize> = HashMap::new();
+            if let Some((zone, _)) = &ev.host_zone {
+                *votes.entry(zone.as_str()).or_default() += 2; // own name weighs more
+            }
+            for z in &ev.other_zones {
+                *votes.entry(z.as_str()).or_default() += 1;
+            }
+            if votes.is_empty() {
+                continue;
+            }
+            // A single weak vote (one URI, nothing else) is unreliable —
+            // embedded third-party content would misfile the server. Defer
+            // those to the prefix-neighbourhood stage below; they are
+            // revisited afterwards if the neighbourhood stayed silent.
+            if step == 3 && votes.values().sum::<usize>() <= 1 {
+                continue;
+            }
+            let winner = votes
+                .iter()
+                .max_by_key(|(zone, count)| {
+                    let (ips, footprint) = if cfg.footprint_weighted {
+                        key_to_cluster
+                            .get(**zone)
+                            .map(|cid| {
+                                (
+                                    clusters[*cid as usize].size,
+                                    cluster_as_sets[*cid as usize].len(),
+                                )
+                            })
+                            .unwrap_or((0, 0))
+                    } else {
+                        (0, 0)
+                    };
+                    (**count, ips, footprint, std::cmp::Reverse(zone.len()))
+                })
+                .map(|(zone, _)| zone.to_string())
+                .unwrap();
+            assign(
+                &winner,
+                idx,
+                step,
+                &mut key_to_cluster,
+                &mut clusters,
+                &mut cluster_as_sets,
+                &mut assignments,
+                &mut step_counts,
+            );
+        }
+    }
+
+    // Step-3 extension (switchable for the ablation): servers with *no*
+    // meta-data at all inherit the
+    // majority cluster of their routed prefix — one prefix is one
+    // operator's allocation, so neighbours are near-certain to share the
+    // administrative authority. This is how the paper's three steps can sum
+    // to 100 % while only 81.9 % of server IPs carry direct meta-data.
+    if cfg.prefix_vote {
+        let mut prefix_majority: HashMap<u32, HashMap<u32, usize>> = HashMap::new();
+        for (idx, a) in assignments.iter().enumerate() {
+            if let (Some((cid, _)), Some(g)) = (a, geo[idx]) {
+                *prefix_majority
+                    .entry(g.prefix_idx)
+                    .or_default()
+                    .entry(*cid)
+                    .or_default() += 1;
+            }
+        }
+        // Only prefixes dominated by one cluster vote their neighbours in —
+        // mixed prefixes (hoster allocations shared by many tenants) stay
+        // out, keeping the false-positive rate near the paper's < 3 %.
+        let winners: HashMap<u32, u32> = prefix_majority
+            .into_iter()
+            .filter_map(|(pidx, counts)| {
+                let total: usize = counts.values().sum();
+                let (cid, best) = counts.into_iter().max_by_key(|(_, c)| *c)?;
+                (best * 5 >= total * 3).then_some((pidx, cid))
+            })
+            .collect();
+        for idx in 0..records.len() {
+            if assignments[idx].is_some() {
+                continue;
+            }
+            let Some(g) = geo[idx] else { continue };
+            if let Some(cid) = winners.get(&g.prefix_idx) {
+                clusters[*cid as usize].size += 1;
+                clusters[*cid as usize].bytes += records[idx].bytes;
+                cluster_as_sets[*cid as usize].insert(g.as_idx);
+                assignments[idx] = Some((*cid, 3));
+                step_counts[2] += 1;
+            }
+        }
+    }
+
+    // Final sweep: single-evidence servers whose neighbourhood stayed
+    // silent take their one piece of evidence at face value (step 3).
+    for (idx, ev) in evidence.iter().enumerate() {
+        if assignments[idx].is_some() {
+            continue;
+        }
+        let zone = ev
+            .host_zone
+            .as_ref()
+            .map(|(z, _)| z.clone())
+            .or_else(|| ev.other_zones.first().cloned());
+        if let Some(zone) = zone {
+            assign(
+                &zone,
+                idx,
+                3,
+                &mut key_to_cluster,
+                &mut clusters,
+                &mut cluster_as_sets,
+                &mut assignments,
+                &mut step_counts,
+            );
+        }
+    }
+
+    for (cid, ases) in cluster_as_sets.iter().enumerate() {
+        clusters[cid].ases = ases.len();
+    }
+    let unclustered = assignments.iter().filter(|a| a.is_none()).count();
+    Clusters { assignments, clusters, step_counts, unclustered }
+}
+
+/// Ground-truth validation of the clustering (the paper hand-validated via
+/// published ranges, certificates, and content downloads; we have the
+/// generator's truth).
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterValidation {
+    /// Assigned servers whose cluster's majority owner differs from their
+    /// true owner, as a fraction (paper: < 3 %).
+    pub false_positive_rate: f64,
+    /// False-positive rate over clusters whose *network footprint* (number
+    /// of ASes) meets the threshold — the paper observes this rate
+    /// decreases with increasing footprint size.
+    pub fp_rate_large: f64,
+    /// The footprint threshold (in ASes) used for `fp_rate_large`.
+    pub large_threshold: usize,
+}
+
+/// Score the clustering against ground truth. `validate_` prefix: this is
+/// the only place the true org of a server is consulted.
+pub fn validate_clusters(
+    clusters: &Clusters,
+    report: &WeeklyReport,
+    model: &InternetModel,
+) -> ClusterValidation {
+    let records = &report.census.records;
+    // Majority true-org per cluster.
+    let mut majority: Vec<HashMap<u32, usize>> =
+        vec![HashMap::new(); clusters.clusters.len()];
+    for (idx, a) in clusters.assignments.iter().enumerate() {
+        if let Some((cid, _)) = a {
+            if let Some(s) = model.servers.by_ip(records[idx].ip) {
+                *majority[*cid as usize].entry(s.org.0).or_default() += 1;
+            }
+        }
+    }
+    let majority_org: Vec<Option<u32>> = majority
+        .iter()
+        .map(|m| m.iter().max_by_key(|(_, c)| **c).map(|(org, _)| *org))
+        .collect();
+
+    let mut assigned = 0usize;
+    let mut wrong = 0usize;
+    let mut assigned_large = 0usize;
+    let mut wrong_large = 0usize;
+    let large_threshold = 4;
+    for (idx, a) in clusters.assignments.iter().enumerate() {
+        let Some((cid, _)) = a else { continue };
+        let Some(truth) = model.servers.by_ip(records[idx].ip) else { continue };
+        assigned += 1;
+        let is_wrong = majority_org[*cid as usize] != Some(truth.org.0);
+        if is_wrong {
+            wrong += 1;
+        }
+        if clusters.clusters[*cid as usize].ases >= large_threshold {
+            assigned_large += 1;
+            if is_wrong {
+                wrong_large += 1;
+            }
+        }
+    }
+    ClusterValidation {
+        false_positive_rate: wrong as f64 / assigned.max(1) as f64,
+        fp_rate_large: wrong_large as f64 / assigned_large.max(1) as f64,
+        large_threshold,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+
+    fn run() -> (&'static InternetModel, &'static WeeklyReport, &'static Clusters) {
+        (testutil::model(), testutil::reference(), testutil::clusters())
+    }
+
+    #[test]
+    fn clustering_is_a_partition() {
+        let (_, report, clusters) = run();
+        assert_eq!(clusters.assignments.len(), report.census.len());
+        let total: usize = clusters.clusters.iter().map(|c| c.size).sum();
+        assert_eq!(total, clusters.clustered_total());
+        assert_eq!(
+            clusters.clustered_total() + clusters.unclustered,
+            report.census.len()
+        );
+    }
+
+    #[test]
+    fn step1_dominates() {
+        let (_, _, clusters) = run();
+        let shares = clusters.step_shares();
+        assert!(
+            shares[0] > shares[1] && shares[0] > shares[2],
+            "step shares {shares:?}"
+        );
+        assert!(shares[0] > 40.0, "step 1 share too small: {shares:?}");
+    }
+
+    #[test]
+    fn recovers_many_organizations() {
+        let (model, _, clusters) = run();
+        assert!(clusters.clusters.len() > 5);
+        assert!(clusters.clusters.len() <= model.orgs.len() + 5);
+    }
+
+    #[test]
+    fn false_positive_rate_is_low_and_improves_with_size() {
+        let (model, report, clusters) = run();
+        let v = validate_clusters(clusters, report, model);
+        assert!(v.false_positive_rate < 0.10, "FP rate {:.3}", v.false_positive_rate);
+        // At the tiny test scale a handful of servers decides this rate, so
+        // allow a noise margin; the paper-scale repro harness checks the
+        // monotone version of the claim (EXPERIMENTS.md, E17).
+        assert!(
+            v.fp_rate_large <= v.false_positive_rate + 0.02,
+            "large-footprint clusters much worse: {:.3} vs {:.3}",
+            v.fp_rate_large,
+            v.false_positive_rate
+        );
+    }
+
+    #[test]
+    fn akamai_like_cluster_exists_and_spreads() {
+        let (_, _, clusters) = run();
+        let (_, akamai) = clusters
+            .by_key("akamai.example")
+            .expect("akamai-like cluster recovered");
+        assert!(akamai.size > 3);
+        assert!(akamai.ases > 2, "akamai cluster in only {} ASes", akamai.ases);
+    }
+}

@@ -1,0 +1,192 @@
+//! HTTP string matching over 128-byte payload snippets (paper §2.2.2).
+//!
+//! Two pattern families, exactly as the paper describes:
+//!
+//! 1. **initial-line patterns** — request method words (`GET`, `HEAD`,
+//!    `POST`, …) followed by a path and `HTTP/1.{0,1}`, and response status
+//!    lines `HTTP/1.{0,1} <code>`;
+//! 2. **header-field patterns** — well-known header names (`Host:`,
+//!    `Server:`, `Access-Control-Allow-Methods:`, …) anywhere in the
+//!    snippet.
+//!
+//! A match also decides *which endpoint is the server*: a request line or a
+//! `Host:` header implicates the destination; a status line or `Server:`
+//! header implicates the source.
+
+/// What the matcher found in one payload snippet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpEvidence {
+    /// Nothing HTTP-like.
+    None,
+    /// A request: the destination is a server. The Host value, if it was
+    /// recoverable from the snippet, identifies the URI authority.
+    Request {
+        /// Value of the `Host:` header, when present in the snippet.
+        host: Option<String>,
+    },
+    /// A response: the source is a server.
+    Response,
+    /// Header fields only, implicating the destination (request headers).
+    RequestHeaders {
+        /// Value of the `Host:` header, when present.
+        host: Option<String>,
+    },
+    /// Header fields only, implicating the source (response headers).
+    ResponseHeaders,
+}
+
+const METHODS: [&str; 7] = ["GET ", "HEAD ", "POST ", "PUT ", "DELETE ", "OPTIONS ", "CONNECT "];
+
+const REQUEST_HEADERS: [&str; 5] =
+    ["Host: ", "User-Agent: ", "Accept: ", "Referer: ", "Cookie: "];
+
+const RESPONSE_HEADERS: [&str; 5] = [
+    "Server: ",
+    "Content-Type: ",
+    "Access-Control-Allow-Methods: ",
+    "Set-Cookie: ",
+    "Content-Length: ",
+];
+
+/// Scan one payload snippet.
+pub fn classify(payload: &[u8]) -> HttpEvidence {
+    if payload.len() < 4 {
+        return HttpEvidence::None;
+    }
+    // Work on the lossless ASCII view; HTTP headers are ASCII.
+    // Pattern 1a: request line at the start of the payload.
+    if let Some(method_len) = METHODS
+        .iter()
+        .find(|m| payload.starts_with(m.as_bytes()))
+        .map(|m| m.len())
+    {
+        // Require the protocol tag somewhere in the snippet (it may be cut
+        // off for very long request targets; then fall through to headers).
+        if find(payload, b"HTTP/1.").is_some() {
+            let _ = method_len;
+            return HttpEvidence::Request { host: extract_host(payload) };
+        }
+    }
+    // Pattern 1b: status line.
+    if payload.starts_with(b"HTTP/1.") {
+        return HttpEvidence::Response;
+    }
+    // Pattern 2: header fields anywhere.
+    let has_request_header = REQUEST_HEADERS.iter().any(|h| find(payload, h.as_bytes()).is_some());
+    let has_response_header =
+        RESPONSE_HEADERS.iter().any(|h| find(payload, h.as_bytes()).is_some());
+    match (has_request_header, has_response_header) {
+        (_, true) => HttpEvidence::ResponseHeaders,
+        (true, false) => HttpEvidence::RequestHeaders { host: extract_host(payload) },
+        (false, false) => HttpEvidence::None,
+    }
+}
+
+/// Extract the Host header value if it fits the snippet.
+fn extract_host(payload: &[u8]) -> Option<String> {
+    let start = find(payload, b"Host: ")? + 6;
+    let rest = &payload[start..];
+    let end = rest.iter().position(|b| *b == b'\r' || *b == b'\n')?;
+    let value = &rest[..end];
+    if value.is_empty() || value.len() > 253 {
+        return None;
+    }
+    let s = std::str::from_utf8(value).ok()?;
+    if s.chars().all(|c| c.is_ascii_alphanumeric() || ".-:".contains(c)) {
+        // Strip an explicit port.
+        Some(s.split(':').next().unwrap().to_string())
+    } else {
+        None
+    }
+}
+
+/// Naive subsequence search (snippets are ≤ 128 bytes; this beats fancier
+/// algorithms at this size).
+fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    if needle.is_empty() || haystack.len() < needle.len() {
+        return None;
+    }
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_requests_and_extracts_host() {
+        let p = b"GET /index.html HTTP/1.1\r\nHost: www.foo.example\r\nAccept: */*\r\n\r\n";
+        match classify(p) {
+            HttpEvidence::Request { host } => {
+                assert_eq!(host.as_deref(), Some("www.foo.example"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn classifies_responses() {
+        let p = b"HTTP/1.1 200 OK\r\nServer: nginx\r\nContent-Type: text/html\r\n\r\n<html>";
+        assert_eq!(classify(p), HttpEvidence::Response);
+    }
+
+    #[test]
+    fn header_only_frames_are_attributed_by_direction() {
+        let req = b"sdfsd\r\nHost: a.b.example\r\nCookie: x=1\r\n";
+        match classify(req) {
+            HttpEvidence::RequestHeaders { host } => {
+                assert_eq!(host.as_deref(), Some("a.b.example"));
+            }
+            other => panic!("{other:?}"),
+        }
+        let resp = b"junk\r\nServer: Apache\r\nSet-Cookie: s=2\r\n";
+        assert_eq!(classify(resp), HttpEvidence::ResponseHeaders);
+    }
+
+    #[test]
+    fn binary_payloads_do_not_match() {
+        let tls = [0x17u8, 0x03, 0x03, 0x00, 0x40, 0x99, 0x81, 0xaa, 0xbb];
+        assert_eq!(classify(&tls), HttpEvidence::None);
+        let content: Vec<u8> = (0..100).map(|i| 0x80u8 | i).collect();
+        assert_eq!(classify(&content), HttpEvidence::None);
+    }
+
+    #[test]
+    fn truncated_host_is_dropped() {
+        let p = b"GET / HTTP/1.1\r\nHost: www.very-long-na"; // cut mid-value
+        match classify(p) {
+            HttpEvidence::Request { host } => assert_eq!(host, None),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn host_with_port_is_stripped() {
+        let p = b"GET / HTTP/1.1\r\nHost: foo.example:8080\r\n";
+        match classify(p) {
+            HttpEvidence::Request { host } => assert_eq!(host.as_deref(), Some("foo.example")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_host_rejected() {
+        let p = b"GET / HTTP/1.1\r\nHost: \xff\xfe\x01\r\n";
+        match classify(p) {
+            HttpEvidence::Request { host } => assert_eq!(host, None),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn short_payloads_are_none() {
+        assert_eq!(classify(b""), HttpEvidence::None);
+        assert_eq!(classify(b"GET"), HttpEvidence::None);
+    }
+
+    #[test]
+    fn methods_without_protocol_tag_fall_to_headers() {
+        let p = b"GET /something-that-goes-on-and-on";
+        assert_eq!(classify(p), HttpEvidence::None);
+    }
+}

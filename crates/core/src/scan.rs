@@ -1,0 +1,519 @@
+//! The single-pass weekly scan: decode sFlow → dissect frames → filtering
+//! cascade (paper Fig. 1) → per-IP evidence accumulation.
+//!
+//! Everything later stages need from the raw stream is collected here in
+//! one pass: category traffic totals, per-IP byte/sample counts, endpoint
+//! role evidence from HTTP string matching, service-port bitmaps, URI
+//! observations, and the member port seen on each IP's side of the fabric.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use ixp_netmodel::{MemberId, Week};
+use ixp_sflow::{Datagram, TrafficEstimate};
+use ixp_wire::dissect::{Dissection, Network, Transport};
+use ixp_wire::EthernetAddress;
+
+use crate::http::{self, HttpEvidence};
+
+/// Filtering-cascade categories (paper Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Native IPv6.
+    Ipv6,
+    /// Other EtherTypes / malformed layer 3.
+    OtherL3,
+    /// Not member-to-member, or local housekeeping traffic.
+    NonMemberOrLocal,
+    /// Member-to-member IPv4 ICMP.
+    Icmp,
+    /// Member-to-member IPv4, other transport protocols.
+    OtherTransport,
+    /// Peering traffic, TCP.
+    PeeringTcp,
+    /// Peering traffic, UDP.
+    PeeringUdp,
+}
+
+impl Category {
+    /// All categories in cascade order.
+    pub const ALL: [Category; 7] = [
+        Category::Ipv6,
+        Category::OtherL3,
+        Category::NonMemberOrLocal,
+        Category::Icmp,
+        Category::OtherTransport,
+        Category::PeeringTcp,
+        Category::PeeringUdp,
+    ];
+
+    /// Is this one of the two peering categories?
+    pub fn is_peering(&self) -> bool {
+        matches!(self, Category::PeeringTcp | Category::PeeringUdp)
+    }
+}
+
+/// Traffic totals per cascade category.
+#[derive(Debug, Clone, Default)]
+pub struct FilterReport {
+    totals: HashMap<Category, TrafficEstimate>,
+}
+
+impl FilterReport {
+    /// Estimate for one category.
+    pub fn get(&self, cat: Category) -> TrafficEstimate {
+        self.totals.get(&cat).copied().unwrap_or_default()
+    }
+
+    /// Total across all categories.
+    pub fn total(&self) -> TrafficEstimate {
+        Category::ALL.iter().map(|c| self.get(*c)).sum()
+    }
+
+    /// Peering traffic (TCP + UDP).
+    pub fn peering(&self) -> TrafficEstimate {
+        self.get(Category::PeeringTcp) + self.get(Category::PeeringUdp)
+    }
+
+    /// Byte share of a category in percent of the total.
+    pub fn share(&self, cat: Category) -> f64 {
+        self.get(cat).share_of(&self.total())
+    }
+
+    fn add(&mut self, cat: Category, rate: u32, frame_len: u32) {
+        self.totals.entry(cat).or_default().add_raw(rate, frame_len);
+    }
+}
+
+/// Per-IP evidence bits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Evidence(pub u16);
+
+impl Evidence {
+    /// Payload string matching marked this IP as an HTTP server.
+    pub const HTTP_SERVER: u16 = 1 << 0;
+    /// The IP appeared as the client side of some flow.
+    pub const CLIENT: u16 = 1 << 1;
+    /// The IP received TLS-looking traffic on TCP 443 (HTTPS candidate).
+    pub const TLS443: u16 = 1 << 2;
+    /// Activity seen on TCP port 80 (server side).
+    pub const PORT_80: u16 = 1 << 3;
+    /// Activity on TCP 8080 (server side).
+    pub const PORT_8080: u16 = 1 << 4;
+    /// Activity on TCP 443 (server side).
+    pub const PORT_443: u16 = 1 << 5;
+    /// Activity on TCP 1935 (server side).
+    pub const PORT_1935: u16 = 1 << 6;
+
+    /// Check a bit.
+    pub fn has(&self, bit: u16) -> bool {
+        self.0 & bit != 0
+    }
+
+    /// Set a bit.
+    pub fn set(&mut self, bit: u16) {
+        self.0 |= bit;
+    }
+
+    /// Number of distinct well-known service ports seen.
+    pub fn service_port_count(&self) -> u32 {
+        (self.0 & (Self::PORT_80 | Self::PORT_8080 | Self::PORT_443 | Self::PORT_1935))
+            .count_ones()
+    }
+}
+
+/// Accumulated per-IP statistics.
+#[derive(Debug, Clone, Default)]
+pub struct IpStats {
+    /// Estimated bytes this IP was an endpoint of (peering traffic only).
+    pub bytes: u64,
+    /// Samples this IP appeared in.
+    pub samples: u32,
+    /// Role/port evidence.
+    pub evidence: Evidence,
+    /// Interned ids of URI authorities observed when this IP acted as the
+    /// server (bounded).
+    pub uris: Vec<u32>,
+    /// The member port on this IP's side of the fabric (last seen).
+    pub member: MemberId,
+}
+
+const MAX_URIS_PER_IP: usize = 8;
+
+/// A tiny string interner for URI authorities.
+#[derive(Debug, Default)]
+pub struct DomainTable {
+    by_name: HashMap<String, u32>,
+    names: Vec<String>,
+}
+
+impl DomainTable {
+    /// Intern a domain, returning its id.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(id) = self.by_name.get(name) {
+            return *id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Resolve an id.
+    pub fn name(&self, id: u32) -> &str {
+        &self.names[id as usize]
+    }
+
+    /// Number of distinct domains observed.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no domains were observed.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate over all interned names.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(String::as_str)
+    }
+}
+
+/// The result of scanning one week of sFlow.
+#[derive(Debug)]
+pub struct WeekScan {
+    /// The week scanned.
+    pub week: Week,
+    /// Cascade totals.
+    pub filter: FilterReport,
+    /// Per-IP statistics (peering traffic endpoints only).
+    pub ips: HashMap<u32, IpStats>,
+    /// Interned URI authorities.
+    pub domains: DomainTable,
+    /// Samples that could not be dissected at all.
+    pub undissectable: u64,
+    /// Number of member ports active this week (MACs above this id are not
+    /// members yet and their frames are classified as non-member traffic).
+    member_count: u32,
+}
+
+impl WeekScan {
+    /// Create an empty scan for a week observed by `member_count` member
+    /// ports.
+    pub fn new(week: Week, member_count: u32) -> WeekScan {
+        WeekScan {
+            week,
+            filter: FilterReport::default(),
+            ips: HashMap::new(),
+            domains: DomainTable::default(),
+            undissectable: 0,
+            member_count,
+        }
+    }
+
+    /// Feed one encoded sFlow datagram.
+    pub fn ingest(&mut self, datagram_bytes: &[u8]) {
+        let dg = match Datagram::decode(datagram_bytes) {
+            Ok(dg) => dg,
+            Err(_) => {
+                self.undissectable += 1;
+                return;
+            }
+        };
+        for sample in &dg.samples {
+            self.ingest_sample(sample.sampling_rate, sample.record.frame_length, &sample.record.header);
+        }
+    }
+
+    /// Feed one raw sample (rate, claimed wire length, snippet).
+    pub fn ingest_sample(&mut self, rate: u32, frame_len: u32, snippet: &[u8]) {
+        let d = match Dissection::parse(snippet) {
+            Ok(d) => d,
+            Err(_) => {
+                self.undissectable += 1;
+                return;
+            }
+        };
+        let category = self.categorize(&d);
+        self.filter.add(category, rate, frame_len);
+        if !category.is_peering() {
+            return;
+        }
+        let (repr, transport, payload) = match &d.network {
+            Network::Ipv4 { repr, transport, payload } => (repr, transport, payload),
+            _ => unreachable!("peering implies IPv4"),
+        };
+        let bytes = u64::from(rate) * u64::from(frame_len);
+        let src_member = member_of(d.src_mac).expect("peering implies member MACs");
+        let dst_member = member_of(d.dst_mac).expect("peering implies member MACs");
+
+        // Role evidence.
+        let mut host: Option<String> = None;
+        let mut server_is_src = false;
+        let mut server_is_dst = false;
+        if matches!(transport, Transport::Tcp { .. }) {
+            match http::classify(payload) {
+                HttpEvidence::Request { host: h } | HttpEvidence::RequestHeaders { host: h } => {
+                    server_is_dst = true;
+                    host = h;
+                }
+                HttpEvidence::Response | HttpEvidence::ResponseHeaders => {
+                    server_is_src = true;
+                }
+                HttpEvidence::None => {}
+            }
+        }
+
+        let src = u32::from(repr.src_addr);
+        let dst = u32::from(repr.dst_addr);
+        {
+            let src_stats = self.ips.entry(src).or_default();
+            src_stats.bytes += bytes;
+            src_stats.samples += 1;
+            src_stats.member = src_member;
+            if server_is_src {
+                src_stats.evidence.set(Evidence::HTTP_SERVER);
+                if let Transport::Tcp { src_port, .. } = transport {
+                    set_port_bit(&mut src_stats.evidence, *src_port);
+                }
+            } else if server_is_dst {
+                // Classified flow with the server on the other side.
+                src_stats.evidence.set(Evidence::CLIENT);
+            }
+        }
+        {
+            let dst_stats = self.ips.entry(dst).or_default();
+            dst_stats.bytes += bytes;
+            dst_stats.samples += 1;
+            dst_stats.member = dst_member;
+            if server_is_dst {
+                dst_stats.evidence.set(Evidence::HTTP_SERVER);
+                if let Transport::Tcp { dst_port, .. } = transport {
+                    set_port_bit(&mut dst_stats.evidence, *dst_port);
+                }
+                if let Some(h) = host {
+                    let id = self.domains.intern(&h);
+                    if dst_stats.uris.len() < MAX_URIS_PER_IP && !dst_stats.uris.contains(&id) {
+                        dst_stats.uris.push(id);
+                    }
+                }
+            } else if server_is_src {
+                dst_stats.evidence.set(Evidence::CLIENT);
+            }
+            // HTTPS candidates: TLS-shaped bytes towards port 443.
+            if let Transport::Tcp { dst_port: 443, .. } = transport {
+                if matches!(payload.first(), Some(0x16) | Some(0x17)) {
+                    dst_stats.evidence.set(Evidence::TLS443);
+                    set_port_bit(&mut dst_stats.evidence, 443);
+                }
+            }
+            // RTMP activity (port-level evidence; no string matching).
+            if let Transport::Tcp { dst_port: 1935, .. } = transport {
+                if !payload.is_empty() {
+                    set_port_bit(&mut dst_stats.evidence, 1935);
+                }
+            }
+        }
+    }
+
+    fn categorize(&self, d: &Dissection<'_>) -> Category {
+        match &d.network {
+            Network::Ipv6 => Category::Ipv6,
+            Network::Arp | Network::OtherEtherType(_) | Network::MalformedIpv4(_) => {
+                Category::OtherL3
+            }
+            Network::Ipv4 { transport, .. } => {
+                let src_m = member_of(d.src_mac).filter(|m| m.0 < self.member_count);
+                let dst_m = member_of(d.dst_mac).filter(|m| m.0 < self.member_count);
+                match (src_m, dst_m) {
+                    (Some(a), Some(b)) if a != b => match transport {
+                        Transport::Icmp => Category::Icmp,
+                        Transport::Tcp { .. } => Category::PeeringTcp,
+                        Transport::Udp { .. } => Category::PeeringUdp,
+                        Transport::Other(_) | Transport::Truncated(_) => {
+                            Category::OtherTransport
+                        }
+                    },
+                    _ => Category::NonMemberOrLocal,
+                }
+            }
+        }
+    }
+
+    /// Unique peering IPs seen.
+    pub fn unique_ips(&self) -> usize {
+        self.ips.len()
+    }
+
+    /// Stats for one IP.
+    pub fn stats(&self, ip: Ipv4Addr) -> Option<&IpStats> {
+        self.ips.get(&u32::from(ip))
+    }
+}
+
+fn set_port_bit(e: &mut Evidence, port: u16) {
+    match port {
+        80 => e.set(Evidence::PORT_80),
+        8080 => e.set(Evidence::PORT_8080),
+        443 => e.set(Evidence::PORT_443),
+        1935 => e.set(Evidence::PORT_1935),
+        _ => {}
+    }
+}
+
+/// Recover the member id from a port MAC (the inverse of
+/// `EthernetAddress::from_member_id`).
+pub fn member_of(mac: EthernetAddress) -> Option<MemberId> {
+    let b = mac.0;
+    if b[0] == 0x02 && b[1] == 0x1f {
+        Some(MemberId(u32::from_be_bytes([b[2], b[3], b[4], b[5]])))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ixp_wire::ethernet::{self, EthernetAddress};
+    use ixp_wire::ip::Protocol;
+    use ixp_wire::{ipv4, tcp};
+
+    /// Build an Ethernet+IPv4+TCP frame between two member ports.
+    fn tcp_frame(src_member: u32, dst_member: u32, payload: &[u8], dst_port: u16) -> Vec<u8> {
+        let src_ip = Ipv4Addr::new(100, 0, 0, 1);
+        let dst_ip = Ipv4Addr::new(100, 0, 1, 1);
+        let tcp_len = tcp::HEADER_LEN + payload.len();
+        let total = ethernet::HEADER_LEN + ipv4::HEADER_LEN + tcp_len;
+        let mut buf = vec![0u8; total];
+        ethernet::Repr {
+            src_addr: EthernetAddress::from_member_id(src_member),
+            dst_addr: EthernetAddress::from_member_id(dst_member),
+            ethertype: ixp_wire::EtherType::Ipv4,
+        }
+        .emit(&mut ethernet::Frame::new_unchecked(&mut buf[..]));
+        ipv4::Repr {
+            src_addr: src_ip,
+            dst_addr: dst_ip,
+            protocol: Protocol::Tcp,
+            payload_len: tcp_len,
+            ttl: 60,
+        }
+        .emit(&mut ipv4::Packet::new_unchecked(&mut buf[ethernet::HEADER_LEN..]))
+        .unwrap();
+        let l4 = &mut buf[ethernet::HEADER_LEN + ipv4::HEADER_LEN..];
+        l4[tcp::HEADER_LEN..].copy_from_slice(payload);
+        tcp::Repr {
+            src_port: 40000,
+            dst_port,
+            seq: 0,
+            ack: 0,
+            flags: tcp::Flags::ACK,
+            window: 1000,
+        }
+        .emit(&mut tcp::Packet::new_unchecked(&mut l4[..]), src_ip, dst_ip)
+        .unwrap();
+        buf
+    }
+
+    #[test]
+    fn member_of_inverts_port_macs() {
+        for id in [0u32, 1, 456, 100_000] {
+            assert_eq!(member_of(EthernetAddress::from_member_id(id)), Some(MemberId(id)));
+        }
+        assert_eq!(member_of(EthernetAddress([0x02, 0xFD, 0, 0, 0, 1])), None);
+        assert_eq!(member_of(EthernetAddress::BROADCAST), None);
+    }
+
+    #[test]
+    fn request_marks_destination_as_server_and_collects_uri() {
+        let mut scan = WeekScan::new(Week::REFERENCE, 10);
+        let frame = tcp_frame(1, 2, b"GET / HTTP/1.1\r\nHost: www.x.example\r\n\r\n", 80);
+        scan.ingest_sample(16_384, frame.len() as u32, &frame);
+        let dst = scan.stats(Ipv4Addr::new(100, 0, 1, 1)).unwrap();
+        assert!(dst.evidence.has(Evidence::HTTP_SERVER));
+        assert!(dst.evidence.has(Evidence::PORT_80));
+        assert_eq!(dst.uris.len(), 1);
+        assert_eq!(scan.domains.name(dst.uris[0]), "www.x.example");
+        let src = scan.stats(Ipv4Addr::new(100, 0, 0, 1)).unwrap();
+        assert!(src.evidence.has(Evidence::CLIENT));
+        assert!(!src.evidence.has(Evidence::HTTP_SERVER));
+    }
+
+    #[test]
+    fn response_marks_source_as_server() {
+        let mut scan = WeekScan::new(Week::REFERENCE, 10);
+        let frame = tcp_frame(3, 4, b"HTTP/1.1 200 OK\r\nServer: x\r\n\r\n", 50_000);
+        scan.ingest_sample(16_384, frame.len() as u32, &frame);
+        let src = scan.stats(Ipv4Addr::new(100, 0, 0, 1)).unwrap();
+        assert!(src.evidence.has(Evidence::HTTP_SERVER));
+    }
+
+    #[test]
+    fn non_member_macs_fall_out_of_peering() {
+        let mut scan = WeekScan::new(Week::REFERENCE, 3);
+        // Member ids 5 and 6 exceed the member count of 3.
+        let frame = tcp_frame(5, 6, b"GET / HTTP/1.1\r\n", 80);
+        scan.ingest_sample(16_384, frame.len() as u32, &frame);
+        assert_eq!(scan.filter.get(Category::NonMemberOrLocal).samples, 1);
+        assert_eq!(scan.unique_ips(), 0);
+    }
+
+    #[test]
+    fn same_member_both_sides_is_local() {
+        let mut scan = WeekScan::new(Week::REFERENCE, 10);
+        let frame = tcp_frame(2, 2, b"GET / HTTP/1.1\r\n", 80);
+        scan.ingest_sample(16_384, frame.len() as u32, &frame);
+        assert_eq!(scan.filter.get(Category::NonMemberOrLocal).samples, 1);
+    }
+
+    #[test]
+    fn tls_443_marks_candidate() {
+        let mut scan = WeekScan::new(Week::REFERENCE, 10);
+        let frame = tcp_frame(1, 2, &[0x16, 0x03, 0x03, 0x00, 0x10, 0x80], 443);
+        scan.ingest_sample(16_384, frame.len() as u32, &frame);
+        let dst = scan.stats(Ipv4Addr::new(100, 0, 1, 1)).unwrap();
+        assert!(dst.evidence.has(Evidence::TLS443));
+        assert!(dst.evidence.has(Evidence::PORT_443));
+        assert!(!dst.evidence.has(Evidence::HTTP_SERVER));
+    }
+
+    #[test]
+    fn filter_shares_sum_to_100() {
+        let mut scan = WeekScan::new(Week::REFERENCE, 10);
+        for (port, payload) in
+            [(80u16, &b"GET / HTTP/1.1\r\n"[..]), (443, &[0x16, 0x03, 0x03][..]), (25, &[0x80u8][..])]
+        {
+            let frame = tcp_frame(1, 2, payload, port);
+            scan.ingest_sample(16_384, frame.len() as u32, &frame);
+        }
+        let total: f64 = Category::ALL.iter().map(|c| scan.filter.share(*c)).sum();
+        assert!((total - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn undissectable_bytes_are_counted_not_fatal() {
+        let mut scan = WeekScan::new(Week::REFERENCE, 10);
+        scan.ingest(&[1, 2, 3]);
+        scan.ingest_sample(1, 10, &[0xff; 4]);
+        assert_eq!(scan.undissectable, 2);
+    }
+
+    #[test]
+    fn uris_are_deduplicated_and_bounded() {
+        let mut scan = WeekScan::new(Week::REFERENCE, 10);
+        for i in 0..20 {
+            let host = format!("h{}.x.example", i % 12);
+            let payload = format!("GET / HTTP/1.1\r\nHost: {host}\r\n\r\n");
+            let frame = tcp_frame(1, 2, payload.as_bytes(), 80);
+            scan.ingest_sample(16_384, frame.len() as u32, &frame);
+        }
+        let dst = scan.stats(Ipv4Addr::new(100, 0, 1, 1)).unwrap();
+        assert!(dst.uris.len() <= 8);
+        let mut dedup = dst.uris.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), dst.uris.len());
+    }
+}

@@ -1,0 +1,208 @@
+//! The client-IP universe.
+//!
+//! Client IPs are not materialized as records — a quarter billion rows would
+//! defeat the point of scaling — but defined *functionally*: a global client
+//! index `0..universe` maps deterministically to an address inside the
+//! client zone of some AS's prefix, with per-AS populations proportional to
+//! role- and archetype-weighted sizes. The traffic generator draws indices
+//! from a skewed popularity distribution; unique-IP statistics then emerge
+//! from which indices actually get drawn, exactly as at the real vantage
+//! point.
+
+use std::net::Ipv4Addr;
+
+use crate::prefixes::RoutingSnapshot;
+use crate::registry::{well_known, AsRegistry, AsRole};
+use crate::scale::ScaleConfig;
+use crate::types::Asn;
+
+/// The functional client universe.
+#[derive(Debug, Clone)]
+pub struct ClientPool {
+    /// Cumulative client population per dense AS index (len = #ASes),
+    /// summing to `universe`.
+    cumulative: Vec<u64>,
+    universe: u64,
+}
+
+impl ClientPool {
+    /// Build the per-AS populations.
+    pub fn build(scale: &ScaleConfig, registry: &AsRegistry) -> ClientPool {
+        let weights: Vec<f64> = registry
+            .iter()
+            .map(|info| {
+                let role_w = match info.role {
+                    AsRole::EyeballLarge => 60.0,
+                    AsRole::EyeballSmall => 8.0,
+                    AsRole::Enterprise => 0.7,
+                    AsRole::University => 3.0,
+                    AsRole::Transit => 1.5,
+                    AsRole::Tier1 => 2.0,
+                    AsRole::Hoster | AsRole::Cloud => 0.4,
+                    AsRole::Cdn | AsRole::Content => 0.2,
+                    AsRole::Reseller => 0.2,
+                };
+                role_w * well_known::eyeball_population_boost(info.asn)
+            })
+            .collect();
+        let total_w: f64 = weights.iter().sum();
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc_f = 0.0f64;
+        for w in &weights {
+            acc_f += w;
+            cumulative.push(((acc_f / total_w) * scale.client_universe as f64) as u64);
+        }
+        // Force the last boundary to exactly the universe size.
+        if let Some(last) = cumulative.last_mut() {
+            *last = scale.client_universe;
+        }
+        ClientPool { cumulative, universe: scale.client_universe }
+    }
+
+    /// Size of the universe.
+    pub fn universe(&self) -> u64 {
+        self.universe
+    }
+
+    /// Number of clients inside an AS.
+    pub fn population_of(&self, registry: &AsRegistry, asn: Asn) -> u64 {
+        let idx = match registry.index_of(asn) {
+            Some(i) => i as usize,
+            None => return 0,
+        };
+        let hi = self.cumulative[idx];
+        let lo = if idx == 0 { 0 } else { self.cumulative[idx - 1] };
+        hi - lo
+    }
+
+    /// Map a global client index to its AS (dense index).
+    pub fn as_of(&self, client: u64) -> u32 {
+        debug_assert!(client < self.universe);
+        // `cumulative[i]` is the exclusive end boundary of AS i's range, so
+        // the owner is the first AS whose boundary exceeds the index. This
+        // also skips zero-population ASes correctly.
+        let idx = self.cumulative.partition_point(|&end| end <= client);
+        idx.min(self.cumulative.len() - 1) as u32
+    }
+
+    /// Deterministic address of a client index.
+    ///
+    /// Clients live in the *upper three quarters* of each prefix, disjoint
+    /// from the server allocator's zone, so an IP is never accidentally
+    /// both.
+    pub fn address_of(
+        &self,
+        registry: &AsRegistry,
+        routing: &RoutingSnapshot,
+        client: u64,
+    ) -> Option<Ipv4Addr> {
+        let as_idx = self.as_of(client);
+        let lo = if as_idx == 0 { 0 } else { self.cumulative[as_idx as usize - 1] };
+        let local = client - lo;
+        let asn = registry.by_index(as_idx).asn;
+        let prefixes = routing.prefixes_of(registry, asn);
+        if prefixes.is_empty() {
+            return None;
+        }
+        // Spread clients round-robin over the AS's prefixes, then into the
+        // client zone of the chosen prefix. The multiplicative hash spreads
+        // consecutive indices to unrelated offsets.
+        let p = prefixes[(local % prefixes.len() as u64) as usize];
+        let entry = routing.entry(p);
+        let size = entry.prefix.size();
+        let zone = (size - size / 4).max(1);
+        let scrambled = local
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(17);
+        let offset = size / 4 + scrambled % zone;
+        Some(entry.prefix.addr_at(offset))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::country::CountryTable;
+
+    fn build() -> (ClientPool, AsRegistry, RoutingSnapshot, ScaleConfig) {
+        let countries = CountryTable::build();
+        let scale = ScaleConfig::tiny();
+        let registry = AsRegistry::generate(&scale, &countries, 17);
+        let routing = RoutingSnapshot::generate(&scale, &registry, 17);
+        let pool = ClientPool::build(&scale, &registry);
+        (pool, registry, routing, scale)
+    }
+
+    #[test]
+    fn populations_sum_to_universe() {
+        let (pool, registry, _, scale) = build();
+        let total: u64 = registry
+            .iter()
+            .map(|i| pool.population_of(&registry, i.asn))
+            .sum();
+        assert_eq!(total, scale.client_universe);
+        assert_eq!(pool.universe(), scale.client_universe);
+    }
+
+    #[test]
+    fn as_of_respects_boundaries() {
+        let (pool, registry, _, _) = build();
+        // Every client maps to an AS whose population actually covers it.
+        for client in (0..pool.universe()).step_by(97) {
+            let as_idx = pool.as_of(client);
+            let asn = registry.by_index(as_idx).asn;
+            assert!(pool.population_of(&registry, asn) > 0);
+        }
+    }
+
+    #[test]
+    fn addresses_resolve_back_to_their_as() {
+        let (pool, registry, routing, _) = build();
+        for client in (0..pool.universe()).step_by(131) {
+            let addr = pool.address_of(&registry, &routing, client).unwrap();
+            let entry = routing.resolve(addr).unwrap();
+            let as_idx = pool.as_of(client);
+            assert_eq!(entry.origin, registry.by_index(as_idx).asn);
+        }
+    }
+
+    #[test]
+    fn addresses_avoid_server_zone() {
+        let (pool, registry, routing, _) = build();
+        for client in (0..pool.universe()).step_by(61) {
+            let addr = pool.address_of(&registry, &routing, client).unwrap();
+            let entry = routing.resolve(addr).unwrap();
+            let offset = u64::from(u32::from(addr) - entry.prefix.base);
+            assert!(
+                offset >= entry.prefix.size() / 4,
+                "client {addr} landed in server zone of {}",
+                entry.prefix
+            );
+        }
+    }
+
+    #[test]
+    fn eyeball_archetypes_have_big_populations() {
+        let (pool, registry, _, _) = build();
+        let chinanet = pool.population_of(&registry, well_known::CHINANET_LIKE);
+        // The median eyeball population should be much smaller.
+        let median = {
+            let mut pops: Vec<u64> = registry
+                .iter()
+                .filter(|i| i.role == AsRole::EyeballSmall)
+                .map(|i| pool.population_of(&registry, i.asn))
+                .collect();
+            pops.sort_unstable();
+            pops[pops.len() / 2]
+        };
+        assert!(chinanet > median * 3, "chinanet {chinanet} vs median {median}");
+    }
+
+    #[test]
+    fn mapping_is_deterministic() {
+        let (pool, registry, routing, _) = build();
+        let a = pool.address_of(&registry, &routing, 1234).unwrap();
+        let b = pool.address_of(&registry, &routing, 1234).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,323 @@
+//! Prefix allocation and the routing snapshot.
+//!
+//! Every AS gets a role-dependent number of prefixes carved out of the
+//! public IPv4 space. The resulting [`RoutingSnapshot`] plays the role that
+//! RouteViews/RIPE-RIS tables and a GeoLite-style database play in the
+//! paper: it is the *only* way the analysis pipeline can map an observed IP
+//! to a prefix, origin AS, and country — ground truth about which server
+//! belongs to whom never crosses that boundary.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::net::Ipv4Addr;
+
+use crate::country::CountryId;
+use crate::registry::{AsRegistry, AsRole};
+use crate::scale::ScaleConfig;
+use crate::types::{Asn, Prefix};
+
+/// One routed prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteEntry {
+    /// The prefix.
+    pub prefix: Prefix,
+    /// Origin AS.
+    pub origin: Asn,
+    /// Country of registration (inherited from the origin AS).
+    pub country: CountryId,
+}
+
+/// The routing table plus geolocation, sorted by prefix base address.
+#[derive(Debug, Clone)]
+pub struct RoutingSnapshot {
+    entries: Vec<RouteEntry>,
+    /// Per dense-AS-index: indices into `entries` owned by that AS.
+    by_as: Vec<Vec<u32>>,
+}
+
+impl RoutingSnapshot {
+    /// Allocate prefixes for every AS in the registry.
+    pub fn generate(scale: &ScaleConfig, registry: &AsRegistry, seed: u64) -> RoutingSnapshot {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xA5A5_0003);
+        let n = registry.len();
+
+        // 1. Decide per-AS prefix counts, scaled to the configured total.
+        let raw: Vec<f64> = registry
+            .iter()
+            .map(|info| mean_prefix_count(info.role) * (0.5 + rng.gen::<f64>()))
+            .collect();
+        let raw_total: f64 = raw.iter().sum();
+        let factor = f64::from(scale.prefix_count) / raw_total;
+        let mut counts: Vec<u32> =
+            raw.iter().map(|r| ((r * factor).round() as u32).max(1)).collect();
+
+        // 2. Allocation order: deterministic shuffle so that prefix sizes do
+        //    not correlate with address ranges.
+        let mut order: Vec<(u32, u32)> = Vec::new(); // (as index, k-th prefix)
+        for (i, c) in counts.iter().enumerate() {
+            for k in 0..*c {
+                order.push((i as u32, k));
+            }
+        }
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+
+        // 3. Carve the address space.
+        let mut cursor: u64 = u32::from(Ipv4Addr::new(1, 0, 0, 0)) as u64;
+        let mut entries: Vec<RouteEntry> = Vec::with_capacity(order.len());
+        let mut by_as: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (as_idx, k) in &order {
+            let info = registry.by_index(*as_idx);
+            let len = prefix_len(info.role, *k, &mut rng);
+            let size = 1u64 << (32 - len);
+            // Align and skip reserved ranges.
+            cursor = (cursor + size - 1) & !(size - 1);
+            cursor = skip_reserved(cursor, size);
+            if cursor + size > u32::from(Ipv4Addr::new(223, 255, 255, 255)) as u64 {
+                // Space exhausted (cannot happen at supported scales, but
+                // degrade gracefully by reusing high addresses).
+                counts[*as_idx as usize] = counts[*as_idx as usize].saturating_sub(1);
+                continue;
+            }
+            let prefix = Prefix { base: cursor as u32, len };
+            by_as[*as_idx as usize].push(entries.len() as u32);
+            entries.push(RouteEntry { prefix, origin: info.asn, country: info.country });
+            cursor += size;
+        }
+
+        // 4. Sort by base for binary-search lookup; remap the per-AS index.
+        let mut perm: Vec<u32> = (0..entries.len() as u32).collect();
+        perm.sort_by_key(|&i| entries[i as usize].prefix.base);
+        let mut inverse = vec![0u32; entries.len()];
+        for (new, &old) in perm.iter().enumerate() {
+            inverse[old as usize] = new as u32;
+        }
+        let mut sorted = Vec::with_capacity(entries.len());
+        for &i in &perm {
+            sorted.push(entries[i as usize]);
+        }
+        for list in by_as.iter_mut() {
+            for idx in list.iter_mut() {
+                *idx = inverse[*idx as usize];
+            }
+        }
+        RoutingSnapshot { entries: sorted, by_as }
+    }
+
+    /// Number of routed prefixes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries in address order.
+    pub fn iter(&self) -> impl Iterator<Item = &RouteEntry> {
+        self.entries.iter()
+    }
+
+    /// Entry at a dense prefix index.
+    pub fn entry(&self, index: u32) -> &RouteEntry {
+        &self.entries[index as usize]
+    }
+
+    /// Longest... well, *only* — allocation is non-overlapping — match for
+    /// an address. Returns the dense prefix index.
+    pub fn lookup(&self, addr: Ipv4Addr) -> Option<u32> {
+        let raw = u32::from(addr);
+        let idx = match self.entries.binary_search_by(|e| e.prefix.base.cmp(&raw)) {
+            Ok(i) => i,
+            Err(0) => return None,
+            Err(i) => i - 1,
+        };
+        let entry = &self.entries[idx];
+        entry.prefix.contains(addr).then_some(idx as u32)
+    }
+
+    /// Full resolution: prefix entry for an address.
+    pub fn resolve(&self, addr: Ipv4Addr) -> Option<&RouteEntry> {
+        self.lookup(addr).map(|i| self.entry(i))
+    }
+
+    /// Dense prefix indices originated by an AS.
+    pub fn prefixes_of(&self, registry: &AsRegistry, asn: Asn) -> &[u32] {
+        registry
+            .index_of(asn)
+            .map(|i| self.by_as[i as usize].as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Number of distinct origin ASes that actually got prefixes.
+    pub fn routed_as_count(&self) -> usize {
+        self.by_as.iter().filter(|l| !l.is_empty()).count()
+    }
+}
+
+fn mean_prefix_count(role: AsRole) -> f64 {
+    match role {
+        AsRole::Tier1 => 80.0,
+        AsRole::Transit => 40.0,
+        AsRole::EyeballLarge => 120.0,
+        AsRole::EyeballSmall => 12.0,
+        AsRole::Hoster => 30.0,
+        AsRole::Cdn => 18.0,
+        AsRole::Cloud => 25.0,
+        AsRole::Content => 10.0,
+        AsRole::Enterprise => 2.0,
+        AsRole::University => 5.0,
+        AsRole::Reseller => 2.0,
+    }
+}
+
+fn prefix_len(role: AsRole, _k: u32, rng: &mut SmallRng) -> u8 {
+    let (lo, hi) = match role {
+        AsRole::Tier1 | AsRole::Transit => (20, 23),
+        AsRole::EyeballLarge => (18, 21),
+        AsRole::EyeballSmall => (21, 24),
+        AsRole::Hoster => (21, 24),
+        AsRole::Cdn => (22, 24),
+        AsRole::Cloud => (19, 22),
+        AsRole::Content => (22, 24),
+        AsRole::Enterprise => (24, 24),
+        AsRole::University => (22, 24),
+        AsRole::Reseller => (22, 24),
+    };
+    rng.gen_range(lo..=hi)
+}
+
+/// Reserved ranges the allocator must not hand out. Returns a cursor at or
+/// after `cursor` whose `[cursor, cursor+size)` window avoids them all.
+fn skip_reserved(mut cursor: u64, size: u64) -> u64 {
+    const RESERVED: &[(u32, u32)] = &[
+        (0x0A00_0000, 0x0B00_0000), // 10.0.0.0/8
+        (0x7F00_0000, 0x8000_0000), // 127.0.0.0/8
+        (0xA9FE_0000, 0xA9FF_0000), // 169.254.0.0/16
+        (0xAC10_0000, 0xAC20_0000), // 172.16.0.0/12
+        (0xC0A8_0000, 0xC0A9_0000), // 192.168.0.0/16
+        (0xC000_0200, 0xC000_0300), // 192.0.2.0/24 (TEST-NET-1)
+    ];
+    loop {
+        let mut moved = false;
+        for &(lo, hi) in RESERVED {
+            let (lo, hi) = (lo as u64, hi as u64);
+            if cursor < hi && cursor + size > lo {
+                cursor = (hi + size - 1) & !(size - 1);
+                moved = true;
+            }
+        }
+        if !moved {
+            return cursor;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::country::CountryTable;
+
+    fn build() -> (AsRegistry, RoutingSnapshot, ScaleConfig) {
+        let countries = CountryTable::build();
+        let scale = ScaleConfig::tiny();
+        let registry = AsRegistry::generate(&scale, &countries, 9);
+        let routing = RoutingSnapshot::generate(&scale, &registry, 9);
+        (registry, routing, scale)
+    }
+
+    #[test]
+    fn prefix_count_close_to_target() {
+        let (_, routing, scale) = build();
+        let target = scale.prefix_count as f64;
+        let got = routing.len() as f64;
+        assert!(
+            (got - target).abs() / target < 0.20,
+            "got {got} prefixes, target {target}"
+        );
+    }
+
+    #[test]
+    fn prefixes_are_disjoint_and_sorted() {
+        let (_, routing, _) = build();
+        let mut last_end: u64 = 0;
+        for entry in routing.iter() {
+            let base = entry.prefix.base as u64;
+            assert!(base >= last_end, "overlap at {}", entry.prefix);
+            last_end = base + entry.prefix.size();
+        }
+    }
+
+    #[test]
+    fn no_prefix_in_reserved_space() {
+        let (_, routing, _) = build();
+        for entry in routing.iter() {
+            for probe in [
+                Ipv4Addr::new(10, 1, 1, 1),
+                Ipv4Addr::new(127, 0, 0, 1),
+                Ipv4Addr::new(172, 20, 0, 1),
+                Ipv4Addr::new(192, 168, 1, 1),
+            ] {
+                assert!(!entry.prefix.contains(probe), "{} contains {probe}", entry.prefix);
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_finds_every_allocated_address() {
+        let (_, routing, _) = build();
+        for (i, entry) in routing.iter().enumerate() {
+            let mid = entry.prefix.addr_at(entry.prefix.size() / 2);
+            assert_eq!(routing.lookup(mid), Some(i as u32));
+            let resolved = routing.resolve(mid).unwrap();
+            assert_eq!(resolved.origin, entry.origin);
+        }
+    }
+
+    #[test]
+    fn lookup_misses_unallocated_addresses() {
+        let (_, routing, _) = build();
+        assert_eq!(routing.lookup(Ipv4Addr::new(0, 0, 0, 1)), None);
+        assert_eq!(routing.lookup(Ipv4Addr::new(10, 0, 0, 1)), None);
+        assert_eq!(routing.lookup(Ipv4Addr::new(223, 255, 255, 254)), None);
+    }
+
+    #[test]
+    fn every_as_has_at_least_one_prefix() {
+        let (registry, routing, _) = build();
+        assert_eq!(routing.routed_as_count(), registry.len());
+        for info in registry.iter() {
+            assert!(
+                !routing.prefixes_of(&registry, info.asn).is_empty(),
+                "{} has no prefixes",
+                info.asn
+            );
+        }
+    }
+
+    #[test]
+    fn per_as_index_is_consistent() {
+        let (registry, routing, _) = build();
+        for info in registry.iter() {
+            for &idx in routing.prefixes_of(&registry, info.asn) {
+                assert_eq!(routing.entry(idx).origin, info.asn);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let countries = CountryTable::build();
+        let scale = ScaleConfig::tiny();
+        let registry = AsRegistry::generate(&scale, &countries, 4);
+        let a = RoutingSnapshot::generate(&scale, &registry, 4);
+        let b = RoutingSnapshot::generate(&scale, &registry, 4);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x, y);
+        }
+    }
+}

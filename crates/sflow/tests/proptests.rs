@@ -1,0 +1,85 @@
+//! Property tests: datagram round-trip and decoder robustness.
+
+use std::net::Ipv4Addr;
+
+use proptest::prelude::*;
+
+use ixp_sflow::{Datagram, FlowSample, RawPacketHeader, HEADER_PROTO_ETHERNET};
+
+fn arb_sample() -> impl Strategy<Value = FlowSample> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        1u32..1_000_000,
+        any::<u32>(),
+        0u32..10,
+        any::<u32>(),
+        any::<u32>(),
+        proptest::collection::vec(any::<u8>(), 0..=128),
+        14u32..9_000,
+    )
+        .prop_map(
+            |(sequence, source_id, sampling_rate, sample_pool, drops, input_if, output_if, header, frame_length)| {
+                FlowSample {
+                    sequence,
+                    source_id,
+                    sampling_rate,
+                    sample_pool,
+                    drops,
+                    input_if,
+                    output_if,
+                    record: RawPacketHeader {
+                        protocol: HEADER_PROTO_ETHERNET,
+                        frame_length,
+                        stripped: 0,
+                        header,
+                    },
+                }
+            },
+        )
+}
+
+fn arb_datagram() -> impl Strategy<Value = Datagram> {
+    (
+        any::<u32>().prop_map(Ipv4Addr::from),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u32>(),
+        proptest::collection::vec(arb_sample(), 0..12),
+    )
+        .prop_map(|(agent_address, sub_agent_id, sequence, uptime_ms, samples)| Datagram {
+            agent_address,
+            sub_agent_id,
+            sequence,
+            uptime_ms,
+            samples,
+            counters: vec![],
+        })
+}
+
+proptest! {
+    #[test]
+    fn datagram_round_trips(dg in arb_datagram()) {
+        let bytes = dg.encode();
+        prop_assert_eq!(bytes.len() % 4, 0);
+        let decoded = Datagram::decode(&bytes).unwrap();
+        prop_assert_eq!(decoded, dg);
+    }
+
+    /// The decoder must not panic on arbitrary input.
+    #[test]
+    fn decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = Datagram::decode(&bytes);
+    }
+
+    /// Corrupting one byte of a valid datagram must not panic and, if it
+    /// still decodes, must stay within the original sample count.
+    #[test]
+    fn decoder_handles_corruption(dg in arb_datagram(), idx in any::<proptest::sample::Index>(), flip in 1u8..=255) {
+        let mut bytes = dg.encode();
+        if bytes.is_empty() { return Ok(()); }
+        let i = idx.index(bytes.len());
+        bytes[i] ^= flip;
+        let _ = Datagram::decode(&bytes);
+    }
+}

@@ -1,0 +1,885 @@
+//! The weekly sFlow stream generator.
+//!
+//! [`WeekStream`] turns one week of the synthetic Internet into a stream of
+//! *encoded sFlow datagrams* — the exact artifact a collector at the IXP
+//! would hand a researcher. The generator synthesises the **sampled**
+//! stream directly (one emitted sample stands for `sampling_rate` frames,
+//! see `ixp_sflow::Sampler::force_sample`), which is statistically
+//! equivalent to materialising all 16 384× frames and four orders of
+//! magnitude cheaper.
+//!
+//! Everything the paper measures is planted here mechanically, never as a
+//! hard-coded statistic: category mixes come from [`MixConfig`], per-server
+//! traffic from the catalog's weights, link heterogeneity from the
+//! interplay of gateway members, CDN re-routing, and the peering matrix.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use ixp_netmodel::{InternetModel, MemberId, OrgId, OrgKind, ServerFlags, ServiceTag, Week};
+use ixp_sflow::{Datagram, FlowSample, RawPacketHeader, HEADER_PROTO_ETHERNET, PAPER_SAMPLING_RATE};
+use ixp_sflow::SNIPPET_LEN;
+use ixp_wire::ethernet::{self, EthernetAddress};
+use ixp_wire::ip::Protocol;
+use ixp_wire::{ipv4, tcp, udp};
+
+use crate::config::{frame_len, MixConfig};
+use crate::payload;
+
+/// Per-week pre-computed context.
+pub struct WeekContext<'m> {
+    model: &'m InternetModel,
+    cfg: MixConfig,
+    week: Week,
+    /// Active (IXP-visible) server indices.
+    active: Vec<u32>,
+    /// Cumulative effective weights aligned with `active`.
+    weight_cdf: Vec<f64>,
+    /// Active servers that also act as clients.
+    m2m_peers: Vec<u32>,
+    /// org -> member ids hosting re-routable deployments of that org.
+    org_members: HashMap<OrgId, Vec<MemberId>>,
+    /// (org, member) -> active server indices hosted behind that member.
+    org_member_servers: HashMap<(OrgId, u32), Vec<u32>>,
+    /// Gateway member of every AS (dense index) this week.
+    gateway: Vec<MemberId>,
+    /// Cumulative client-population ranges of member ASes, for the
+    /// member-biased client draw: (cumulative_size, as_dense_index).
+    member_client_ranges: Vec<(u64, u32)>,
+    member_client_total: u64,
+}
+
+impl<'m> WeekContext<'m> {
+    /// Build the context for one week.
+    pub fn new(model: &'m InternetModel, cfg: MixConfig, week: Week) -> WeekContext<'m> {
+        let servers = model.servers.servers();
+        let mut active = Vec::new();
+        let mut weight_cdf = Vec::new();
+        let mut m2m_peers = Vec::new();
+        let mut org_members: HashMap<OrgId, Vec<MemberId>> = HashMap::new();
+        let mut org_member_servers: HashMap<(OrgId, u32), Vec<u32>> = HashMap::new();
+
+        // Gateways per AS this week.
+        let gateway: Vec<MemberId> = (0..model.registry.len() as u32)
+            .map(|i| {
+                let asn = model.registry.by_index(i).asn;
+                model
+                    .graph
+                    .gateway(&model.registry, asn, week)
+                    .unwrap_or(MemberId(0))
+            })
+            .collect();
+
+        let mut acc = 0.0f64;
+        for (i, s) in servers.iter().enumerate() {
+            if !s.active_in(week) {
+                continue;
+            }
+            let org = model.orgs.get(s.org);
+            let mut w = f64::from(s.weight);
+            // Third-party-hosted CDN capacity mostly serves its host
+            // network internally; only a sliver crosses the IXP.
+            let offsite = Some(s.asn) != org.home_asn;
+            if offsite
+                && matches!(org.kind, OrgKind::Cdn | OrgKind::Content)
+                && !s.flags.has(ServerFlags::HIDDEN)
+            {
+                w *= cfg.cdn_offsite_weight;
+            }
+            if s.flags.has(ServerFlags::FRONT_END) {
+                w *= 220.0;
+            }
+            acc += w;
+            active.push(i as u32);
+            weight_cdf.push(acc);
+            if s.flags.has(ServerFlags::CLIENT_TOO) {
+                m2m_peers.push(i as u32);
+            }
+            // Re-route pools: member-hosted deployments of CDN-ish orgs.
+            let reroutable = matches!(org.kind, OrgKind::Cdn | OrgKind::Content)
+                || matches!(s.service, ServiceTag::Ec2(_));
+            if reroutable {
+                let as_idx = model.registry.index_of(s.asn).unwrap();
+                let info = model.registry.by_index(as_idx);
+                if let Some(m) = info.member {
+                    if m.joined.0 <= week.0 {
+                        org_member_servers
+                            .entry((s.org, m.id.0))
+                            .or_default()
+                            .push(i as u32);
+                        let list = org_members.entry(s.org).or_default();
+                        if !list.contains(&m.id) {
+                            list.push(m.id);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Member-AS client ranges.
+        let mut member_client_ranges = Vec::new();
+        let mut member_total = 0u64;
+        for asn in model.registry.members_at(week) {
+            let pop = model.clients.population_of(&model.registry, asn);
+            if pop > 0 {
+                member_total += pop;
+                let idx = model.registry.index_of(asn).unwrap();
+                member_client_ranges.push((member_total, idx));
+            }
+        }
+
+        WeekContext {
+            model,
+            cfg,
+            week,
+            active,
+            weight_cdf,
+            m2m_peers,
+            org_members,
+            org_member_servers,
+            gateway,
+            member_client_ranges,
+            member_client_total: member_total,
+        }
+    }
+
+    /// The week this context serves.
+    pub fn week(&self) -> Week {
+        self.week
+    }
+
+    /// Number of IXP-visible servers this week.
+    pub fn active_servers(&self) -> usize {
+        self.active.len()
+    }
+
+    fn draw_server(&self, rng: &mut SmallRng) -> u32 {
+        let total = *self.weight_cdf.last().expect("no active servers");
+        let x = rng.gen::<f64>() * total;
+        let idx = self
+            .weight_cdf
+            .partition_point(|&c| c <= x)
+            .min(self.active.len() - 1);
+        self.active[idx]
+    }
+
+    /// Draw a client index, member-biased, with a heavy-tailed activity
+    /// profile over the universe.
+    fn draw_client(&self, rng: &mut SmallRng) -> u64 {
+        if self.member_client_total > 0 && rng.gen::<f64>() < self.cfg.p_member_client {
+            // Uniform over the member-AS populations.
+            let x = rng.gen_range(0..self.member_client_total);
+            let k = self
+                .member_client_ranges
+                .partition_point(|(end, _)| *end <= x);
+            let (end, as_idx) = self.member_client_ranges[k.min(self.member_client_ranges.len() - 1)];
+            let asn = self.model.registry.by_index(as_idx).asn;
+            let pop = self.model.clients.population_of(&self.model.registry, asn);
+            let local = pop - (end - x).min(pop);
+            // Translate (as, local) back to a global client index.
+            self.global_client_index(as_idx, local)
+        } else {
+            // Skewed global draw, scrambled so heavy hitters spread across
+            // the whole universe rather than clustering at low indices.
+            let universe = self.model.clients.universe();
+            let u: f64 = rng.gen();
+            let c = (u.powf(self.cfg.client_skew) * universe as f64) as u64;
+            c.wrapping_mul(0x2545_F491_4F6C_DD1D) % universe
+        }
+    }
+
+    fn global_client_index(&self, as_idx: u32, local: u64) -> u64 {
+        // The client pool's cumulative boundaries give the AS's base.
+        let asn = self.model.registry.by_index(as_idx).asn;
+        let pop = self.model.clients.population_of(&self.model.registry, asn);
+        let local = if pop == 0 { 0 } else { local % pop };
+        // Reconstruct the base by searching for the first client of the AS.
+        // (Binary search over indices via as_of.)
+        let universe = self.model.clients.universe();
+        let (mut lo, mut hi) = (0u64, universe - 1);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.model.clients.as_of(mid) < as_idx {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        (lo + local).min(universe - 1)
+    }
+
+    fn client_addr(&self, client: u64) -> Option<(Ipv4Addr, u32)> {
+        let addr = self
+            .model
+            .clients
+            .address_of(&self.model.registry, &self.model.routing, client)?;
+        Some((addr, self.model.clients.as_of(client)))
+    }
+
+    /// Deterministic per-(org, member) preference for the *direct* link
+    /// (Fig. 7's x-axis spread): most members take everything directly,
+    /// a few take nothing directly, the rest sit in between.
+    fn theta(&self, org: OrgId, member: MemberId) -> f64 {
+        let h = (u64::from(org.0) << 32 | u64::from(member.0))
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        if u < 0.70 {
+            1.0
+        } else if u < 0.75 {
+            0.0
+        } else {
+            0.6 + 0.4 * ((u * 37.77) % 1.0)
+        }
+    }
+
+    /// Per-server gate: does this server ever expose URIs in its requests?
+    fn server_emits_uris(&self, server_ip: Ipv4Addr, uri_share: f64) -> bool {
+        let x = u32::from(server_ip).wrapping_mul(0x85EB_CA6B) >> 8;
+        (x as f64 / (u32::MAX >> 8) as f64) < uri_share
+    }
+}
+
+/// The encoded-datagram iterator for one week.
+pub struct WeekStream<'m> {
+    ctx: WeekContext<'m>,
+    rng: SmallRng,
+    /// Independent RNG for the frame-count realization behind the interface
+    /// counters, so the counters never perturb the flow-sample stream.
+    counter_rng: SmallRng,
+    remaining: u64,
+    batch: Vec<FlowSample>,
+    counter_batch: Vec<ixp_sflow::CounterSample>,
+    /// True octets sourced by each member port (the switch's own counters,
+    /// not an estimate): each emitted sample stands for a *realized* number
+    /// of frames around the sampling rate.
+    port_octets: Vec<u64>,
+    port_frames: Vec<u64>,
+    counter_seq: u32,
+    seq: u32,
+    dg_seq: u32,
+    done: bool,
+}
+
+/// Samples per exported datagram (bounded by the export MTU in real
+/// deployments).
+const SAMPLES_PER_DATAGRAM: usize = 7;
+
+impl<'m> WeekStream<'m> {
+    /// Create the stream for a week using the model's configured sample
+    /// budget.
+    pub fn new(model: &'m InternetModel, cfg: MixConfig, week: Week, seed: u64) -> WeekStream<'m> {
+        let ctx = WeekContext::new(model, cfg, week);
+        let remaining = model.scale.samples_per_week;
+        let ports = model.scale.members_end as usize;
+        WeekStream {
+            ctx,
+            rng: SmallRng::seed_from_u64(seed ^ (0xA5A5_0100 + week.0 as u64)),
+            counter_rng: SmallRng::seed_from_u64(seed ^ 0xC0C0_C0C0 ^ u64::from(week.0)),
+            remaining,
+            batch: Vec::with_capacity(SAMPLES_PER_DATAGRAM),
+            counter_batch: Vec::new(),
+            port_octets: vec![0; ports],
+            port_frames: vec![0; ports],
+            counter_seq: 0,
+            seq: 0,
+            dg_seq: 0,
+            done: false,
+        }
+    }
+
+    /// Like `new`, but with an explicit sample budget (benches use this).
+    pub fn with_budget(
+        model: &'m InternetModel,
+        cfg: MixConfig,
+        week: Week,
+        seed: u64,
+        samples: u64,
+    ) -> WeekStream<'m> {
+        let mut s = WeekStream::new(model, cfg, week, seed);
+        s.remaining = samples;
+        s
+    }
+
+    /// Borrow the context (tests/benches peek at it).
+    pub fn context(&self) -> &WeekContext<'m> {
+        &self.ctx
+    }
+
+    fn next_sample(&mut self) -> FlowSample {
+        let (frame, wire_len) = generate_frame(&self.ctx, &mut self.rng);
+        self.seq = self.seq.wrapping_add(1);
+        // Maintain the switch's own interface counters: each sample stands
+        // for a realized frame count drawn around the sampling rate (mean
+        // exactly the rate), so the counters carry ground truth the flow
+        // samples only *estimate* — which is what makes the sampling-bias
+        // cross-check in `ixp-core` meaningful.
+        if frame.len() >= 12 && frame[6] == 0x02 && frame[7] == 0x1f {
+            let port =
+                u32::from_be_bytes([frame[8], frame[9], frame[10], frame[11]]) as usize;
+            if port < self.port_octets.len() {
+                let realized = u64::from(self.counter_rng.gen_range(
+                    PAPER_SAMPLING_RATE / 2..=PAPER_SAMPLING_RATE * 3 / 2,
+                ));
+                self.port_octets[port] += realized * wire_len as u64;
+                self.port_frames[port] += realized;
+            }
+        }
+        FlowSample {
+            sequence: self.seq,
+            source_id: 0,
+            sampling_rate: PAPER_SAMPLING_RATE,
+            sample_pool: self.seq.wrapping_mul(PAPER_SAMPLING_RATE),
+            drops: 0,
+            input_if: 0,
+            output_if: 0,
+            record: RawPacketHeader {
+                protocol: HEADER_PROTO_ETHERNET,
+                frame_length: wire_len as u32,
+                stripped: 0,
+                header: frame,
+            },
+        }
+    }
+
+    fn export(&mut self) -> Vec<u8> {
+        self.dg_seq = self.dg_seq.wrapping_add(1);
+        let dg = Datagram {
+            agent_address: Ipv4Addr::new(10, 255, 0, 1),
+            sub_agent_id: 0,
+            sequence: self.dg_seq,
+            uptime_ms: self.dg_seq.wrapping_mul(40),
+            samples: std::mem::take(&mut self.batch),
+            counters: std::mem::take(&mut self.counter_batch),
+        };
+        dg.encode()
+    }
+}
+
+impl Iterator for WeekStream<'_> {
+    type Item = Vec<u8>;
+
+    fn next(&mut self) -> Option<Vec<u8>> {
+        if self.done {
+            return None;
+        }
+        while self.remaining > 0 {
+            self.remaining -= 1;
+            let sample = self.next_sample();
+            self.batch.push(sample);
+            if self.batch.len() >= SAMPLES_PER_DATAGRAM {
+                return Some(self.export());
+            }
+        }
+        self.done = true;
+        // End of the week: export every port's cumulative interface
+        // counters (real agents export them periodically; the weekly total
+        // is what the bias check needs).
+        for port in 0..self.port_octets.len() {
+            if self.port_octets[port] == 0 {
+                continue;
+            }
+            self.counter_seq = self.counter_seq.wrapping_add(1);
+            self.counter_batch.push(ixp_sflow::CounterSample {
+                sequence: self.counter_seq,
+                source_id: port as u32,
+                if_index: port as u32,
+                if_speed: 100_000_000_000,
+                if_in_octets: self.port_octets[port],
+                if_in_ucast: (self.port_frames[port] & 0xFFFF_FFFF) as u32,
+                if_out_octets: 0,
+                if_out_ucast: 0,
+            });
+        }
+        if self.batch.is_empty() && self.counter_batch.is_empty() {
+            None
+        } else {
+            Some(self.export())
+        }
+    }
+}
+
+/// Build one sampled frame snippet: returns (first ≤128 bytes, wire length).
+#[allow(unused_assignments)] // the final take!() decrement is intentionally dead
+fn generate_frame(ctx: &WeekContext<'_>, rng: &mut SmallRng) -> (Vec<u8>, usize) {
+    let cfg = &ctx.cfg;
+    let mut x: f64 = rng.gen();
+
+    macro_rules! take {
+        ($p:expr) => {{
+            if x < $p {
+                true
+            } else {
+                x -= $p;
+                false
+            }
+        }};
+    }
+
+    if take!(cfg.p_ipv6) {
+        return ipv6_frame(ctx, rng);
+    }
+    if take!(cfg.p_other_ethertype) {
+        return arp_frame(rng);
+    }
+    if take!(cfg.p_local) {
+        return local_frame(ctx, rng);
+    }
+    if take!(cfg.p_icmp) {
+        return icmp_frame(ctx, rng);
+    }
+    if take!(cfg.p_other_transport) {
+        return other_transport_frame(ctx, rng);
+    }
+    if take!(cfg.p_server_flow) {
+        return server_flow_frame(ctx, rng);
+    }
+    if take!(cfg.p_background_tcp) {
+        return background_tcp_frame(ctx, rng);
+    }
+    background_udp_frame(ctx, rng)
+}
+
+/// Pick two distinct member-gatewayed clients that can exchange traffic
+/// over the fabric.
+fn client_pair(ctx: &WeekContext<'_>, rng: &mut SmallRng) -> Option<(Ipv4Addr, MemberId, Ipv4Addr, MemberId)> {
+    for _ in 0..6 {
+        let a = ctx.draw_client(rng);
+        let b = ctx.draw_client(rng);
+        let (ip_a, as_a) = match ctx.client_addr(a) {
+            Some(v) => v,
+            None => continue,
+        };
+        let (ip_b, as_b) = match ctx.client_addr(b) {
+            Some(v) => v,
+            None => continue,
+        };
+        let ma = ctx.gateway[as_a as usize];
+        let mb = ctx.gateway[as_b as usize];
+        if ma != mb && ctx.model.peering.peers(ma, mb) && ip_a != ip_b {
+            return Some((ip_a, ma, ip_b, mb));
+        }
+    }
+    None
+}
+
+fn server_flow_frame(ctx: &WeekContext<'_>, rng: &mut SmallRng) -> (Vec<u8>, usize) {
+    let servers = ctx.model.servers.servers();
+    for _ in 0..6 {
+        let mut sidx = ctx.draw_server(rng);
+
+        // Counterparty: an eyeball client, or another server (m2m).
+        let m2m = !ctx.m2m_peers.is_empty() && rng.gen::<f64>() < ctx.cfg.p_m2m;
+        let (client_ip, client_as) = if m2m {
+            let peer = ctx.m2m_peers[rng.gen_range(0..ctx.m2m_peers.len())];
+            if peer == sidx {
+                continue;
+            }
+            let p = &servers[peer as usize];
+            (p.ip, ctx.model.registry.index_of(p.asn).unwrap())
+        } else {
+            let c = ctx.draw_client(rng);
+            match ctx.client_addr(c) {
+                Some(v) => v,
+                None => continue,
+            }
+        };
+        let m_client = ctx.gateway[client_as as usize];
+
+        // CDN re-route: some members source this org's content from
+        // deployments behind *other* members instead of the direct link.
+        {
+            let s = &servers[sidx as usize];
+            let is_cloudfront = s.service == ServiceTag::CloudFront;
+            if !is_cloudfront {
+                if let Some(member_list) = ctx.org_members.get(&s.org) {
+                    let theta = ctx.theta(s.org, m_client);
+                    if rng.gen::<f64>() > theta {
+                        // Choose an alternative member-hosted deployment.
+                        let candidates: Vec<MemberId> = member_list
+                            .iter()
+                            .copied()
+                            .filter(|m| {
+                                *m != m_client && ctx.model.peering.peers(*m, m_client)
+                            })
+                            .collect();
+                        if !candidates.is_empty() {
+                            let m = candidates[rng.gen_range(0..candidates.len())];
+                            if let Some(pool) =
+                                ctx.org_member_servers.get(&(s.org, m.0))
+                            {
+                                sidx = pool[rng.gen_range(0..pool.len())];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let server = &servers[sidx as usize];
+        let server_as = ctx.model.registry.index_of(server.asn).unwrap();
+        let m_server = ctx.gateway[server_as as usize];
+        if m_server == m_client || !ctx.model.peering.peers(m_server, m_client) {
+            continue; // stays inside one member / no public peering: invisible
+        }
+
+        let org = ctx.model.orgs.get(server.org);
+
+        // Service port for this flow.
+        let week_factor =
+            1.0 + ctx.cfg.https_weekly_drift * f64::from(ctx.week.0.saturating_sub(35));
+        let https = server.https_in(ctx.week)
+            && rng.gen::<f64>() < (0.22 * week_factor).min(0.9);
+        let rtmp = !https && server.flags.has(ServerFlags::RTMP) && rng.gen::<f64>() < 0.35;
+        let port: u16 = if https {
+            443
+        } else if rtmp {
+            1935
+        } else if server.flags.has(ServerFlags::PORT_8080) {
+            8080 // an 8080 server serves on 8080, not both
+        } else {
+            80
+        };
+
+        let response = rng.gen::<f64>() < ctx.cfg.p_response;
+        let ephemeral: u16 = rng.gen_range(32768..61000);
+
+        let (payload_bytes, wire): (Vec<u8>, usize) = if https {
+            if response {
+                (payload::tls_record(118, rng), frame_len::DATA)
+            } else {
+                (payload::tls_record(90, rng), frame_len::REQUEST)
+            }
+        } else if rtmp {
+            (payload::rtmp_chunk(110, rng), frame_len::DATA)
+        } else if response {
+            if rng.gen::<f64>() < ctx.cfg.p_response_headers {
+                (
+                    payload::http_response(server_token(org.kind), rng.gen_range(500..2_000_000), rng),
+                    frame_len::RESPONSE_HEAD,
+                )
+            } else {
+                (payload::content_bytes(118, rng), frame_len::DATA)
+            }
+        } else {
+            // Request direction.
+            let has_headers = rng.gen::<f64>() < ctx.cfg.p_request_headers;
+            // Only a minority of server IPs ever expose a recoverable
+            // URI in snippets (paper §2.4: 23.8 %).
+            let emits_uri = ctx.server_emits_uris(server.ip, org.uri_share * 0.35);
+            if has_headers {
+                // URI exposure strongly co-occurs with proper reverse DNS:
+                // infrastructure without PTRs mostly serves embedded assets
+                // fetched with SNI/absolute URIs that stay outside the
+                // snippet. (This keeps the paper's step-3 population small.)
+                let ptr_gate = server.flags.has(ServerFlags::HAS_PTR)
+                    || rng.gen::<f64>() < 0.12;
+                let domain = if emits_uri && ptr_gate && !org.domains.is_empty() {
+                    if rng.gen::<f64>() < ctx.cfg.p_cross_org_uri {
+                        // Embedded third-party content: the Host names
+                        // another organization's domain.
+                        let other = ctx.model.orgs.get(ixp_netmodel::OrgId(
+                            rng.gen_range(0..ctx.model.orgs.len() as u32),
+                        ));
+                        other.domains.first().cloned().unwrap_or_default()
+                    } else {
+                        let u: f64 = rng.gen();
+                        let k = (u * u * org.domains.len() as f64) as usize;
+                        org.domains[k.min(org.domains.len() - 1)].clone()
+                    }
+                } else {
+                    // Host header hidden beyond the snippet / absolute-form
+                    // noise: emit a request line only.
+                    String::new()
+                };
+                if domain.is_empty() {
+                    let mut p = payload::http_request("x", rng.gen(), rng);
+                    // Truncate before the Host header so no URI leaks.
+                    if let Some(pos) = p.windows(6).position(|w| w == b"Host: ") {
+                        p.truncate(pos);
+                    }
+                    (p, frame_len::REQUEST)
+                } else {
+                    (payload::http_request(&domain, rng.gen(), rng), frame_len::REQUEST)
+                }
+            } else {
+                (payload::content_bytes(100, rng), frame_len::REQUEST)
+            }
+        };
+
+        let (src_ip, dst_ip, sport, dport, src_mac, dst_mac) = if response {
+            (server.ip, client_ip, port, ephemeral, mac(m_server), mac(m_client))
+        } else {
+            (client_ip, server.ip, ephemeral, port, mac(m_client), mac(m_server))
+        };
+        return tcp_frame(src_mac, dst_mac, src_ip, dst_ip, sport, dport, &payload_bytes, wire, rng);
+    }
+    // Could not build a server flow (degenerate tiny worlds): fall back.
+    background_udp_frame(ctx, rng)
+}
+
+fn server_token(kind: OrgKind) -> &'static str {
+    match kind {
+        OrgKind::Cdn | OrgKind::DataCenterCdn => "AkamaiGHost-sim",
+        OrgKind::Cloud => "AmazonS3-sim",
+        OrgKind::Content => "gws-sim",
+        OrgKind::Streamer => "Flussonic-sim",
+        _ => "nginx/1.2.1",
+    }
+}
+
+fn background_tcp_frame(ctx: &WeekContext<'_>, rng: &mut SmallRng) -> (Vec<u8>, usize) {
+    if let Some((a, ma, b, mb)) = client_pair(ctx, rng) {
+        let fake_443 = rng.gen::<f64>() < ctx.cfg.p_fake_443;
+        let (sport, dport) = if fake_443 {
+            (rng.gen_range(32768..61000), 443)
+        } else {
+            const SERVICES: [u16; 6] = [25, 22, 6881, 51413, 993, 5222];
+            (rng.gen_range(32768..61000u16), SERVICES[rng.gen_range(0..SERVICES.len())])
+        };
+        let payload_bytes = if fake_443 {
+            payload::tls_record(90, rng) // VPN-over-443 looks TLS-ish too
+        } else {
+            payload::content_bytes(96, rng)
+        };
+        let wire = if rng.gen::<f64>() < 0.4 { frame_len::DATA } else { frame_len::ACK + 120 };
+        return tcp_frame(mac(ma), mac(mb), a, b, sport, dport, &payload_bytes, wire, rng);
+    }
+    arp_frame(rng)
+}
+
+fn background_udp_frame(ctx: &WeekContext<'_>, rng: &mut SmallRng) -> (Vec<u8>, usize) {
+    if let Some((a, ma, b, mb)) = client_pair(ctx, rng) {
+        let dns = rng.gen::<f64>() < 0.35;
+        let (payload_bytes, wire, dport) = if dns {
+            (payload::dns_query(rng), frame_len::UDP_SMALL, 53u16)
+        } else {
+            (
+                payload::content_bytes(100, rng),
+                frame_len::UDP_LARGE,
+                rng.gen_range(1024..65000u16),
+            )
+        };
+        return udp_frame(
+            mac(ma),
+            mac(mb),
+            a,
+            b,
+            rng.gen_range(1024..65000),
+            dport,
+            &payload_bytes,
+            wire,
+        );
+    }
+    arp_frame(rng)
+}
+
+fn icmp_frame(ctx: &WeekContext<'_>, rng: &mut SmallRng) -> (Vec<u8>, usize) {
+    if let Some((a, ma, b, mb)) = client_pair(ctx, rng) {
+        let wire = frame_len::ICMP;
+        let ip_payload_len = wire - ethernet::HEADER_LEN - ipv4::HEADER_LEN;
+        let mut buf = vec![0u8; wire.min(SNIPPET_LEN)];
+        emit_eth_ip(
+            &mut buf,
+            mac(ma),
+            mac(mb),
+            a,
+            b,
+            Protocol::Icmp,
+            ip_payload_len,
+            rng,
+        );
+        let l4 = ethernet::HEADER_LEN + ipv4::HEADER_LEN;
+        let mut icmp = ixp_wire::icmp::Packet::new_unchecked(&mut buf[l4..]);
+        icmp.emit_echo(ixp_wire::icmp::Message::EchoRequest, rng.gen(), rng.gen());
+        return (buf, wire);
+    }
+    arp_frame(rng)
+}
+
+fn other_transport_frame(ctx: &WeekContext<'_>, rng: &mut SmallRng) -> (Vec<u8>, usize) {
+    if let Some((a, ma, b, mb)) = client_pair(ctx, rng) {
+        let wire = 900;
+        let ip_payload_len = wire - ethernet::HEADER_LEN - ipv4::HEADER_LEN;
+        let mut buf = vec![0u8; wire.min(SNIPPET_LEN)];
+        let proto = if rng.gen::<bool>() { Protocol::Gre } else { Protocol::Esp };
+        emit_eth_ip(&mut buf, mac(ma), mac(mb), a, b, proto, ip_payload_len, rng);
+        return (buf, wire);
+    }
+    arp_frame(rng)
+}
+
+fn ipv6_frame(ctx: &WeekContext<'_>, rng: &mut SmallRng) -> (Vec<u8>, usize) {
+    // Native IPv6 between two member ports; the pipeline only needs the
+    // EtherType to classify (and discard) it.
+    let n_members = ctx.model.registry.members_at(ctx.week).len().max(2) as u32;
+    let ma = MemberId(rng.gen_range(0..n_members));
+    let mb = MemberId(rng.gen_range(0..n_members));
+    let wire = frame_len::OTHER;
+    let mut buf = vec![0u8; wire.min(SNIPPET_LEN)];
+    let eth = ethernet::Repr {
+        src_addr: mac(ma),
+        dst_addr: mac(mb),
+        ethertype: ixp_wire::EtherType::Ipv6,
+    };
+    eth.emit(&mut ethernet::Frame::new_unchecked(&mut buf[..]));
+    buf[ethernet::HEADER_LEN] = 0x60; // IPv6 version nibble
+    for b in buf[ethernet::HEADER_LEN + 1..].iter_mut() {
+        *b = rng.gen();
+    }
+    (buf, wire)
+}
+
+fn arp_frame(rng: &mut SmallRng) -> (Vec<u8>, usize) {
+    let wire = 60;
+    let mut buf = vec![0u8; wire];
+    let eth = ethernet::Repr {
+        src_addr: EthernetAddress([0x02, 0xFE, 0, 0, 0, rng.gen()]),
+        dst_addr: EthernetAddress::BROADCAST,
+        ethertype: ixp_wire::EtherType::Arp,
+    };
+    eth.emit(&mut ethernet::Frame::new_unchecked(&mut buf[..]));
+    (buf, wire)
+}
+
+/// IXP-management / non-member traffic: valid IPv4, but at least one MAC is
+/// not a member port (monitoring boxes, route servers).
+fn local_frame(ctx: &WeekContext<'_>, rng: &mut SmallRng) -> (Vec<u8>, usize) {
+    let infra = EthernetAddress([0x02, 0xFD, 0, 0, 0, rng.gen_range(1..200)]);
+    let n_members = ctx.model.registry.members_at(ctx.week).len().max(1) as u32;
+    let member = mac(MemberId(rng.gen_range(0..n_members)));
+    let wire = 520;
+    let ip_payload_len = wire - ethernet::HEADER_LEN - ipv4::HEADER_LEN;
+    let mut buf = vec![0u8; wire.min(SNIPPET_LEN)];
+    let (src_mac, dst_mac) = if rng.gen::<bool>() { (infra, member) } else { (member, infra) };
+    emit_eth_ip(
+        &mut buf,
+        src_mac,
+        dst_mac,
+        Ipv4Addr::new(10, 255, rng.gen(), rng.gen()),
+        Ipv4Addr::new(10, 255, rng.gen(), rng.gen()),
+        Protocol::Udp,
+        ip_payload_len,
+        rng,
+    );
+    (buf, wire)
+}
+
+fn mac(m: MemberId) -> EthernetAddress {
+    EthernetAddress::from_member_id(m.0)
+}
+
+/// Emit Ethernet + IPv4 headers into `buf` (which may be shorter than the
+/// claimed wire length — snippet semantics).
+#[allow(clippy::too_many_arguments)]
+fn emit_eth_ip(
+    buf: &mut [u8],
+    src_mac: EthernetAddress,
+    dst_mac: EthernetAddress,
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    protocol: Protocol,
+    ip_payload_len: usize,
+    rng: &mut SmallRng,
+) {
+    let eth = ethernet::Repr { src_addr: src_mac, dst_addr: dst_mac, ethertype: ixp_wire::EtherType::Ipv4 };
+    eth.emit(&mut ethernet::Frame::new_unchecked(&mut buf[..]));
+    let ip = ipv4::Repr {
+        src_addr: src_ip,
+        dst_addr: dst_ip,
+        protocol,
+        payload_len: ip_payload_len,
+        ttl: rng.gen_range(40..64),
+    };
+    ip.emit(&mut ipv4::Packet::new_unchecked(&mut buf[ethernet::HEADER_LEN..]))
+        .expect("ip emit");
+}
+
+/// Build a TCP frame snippet. `wire` is the claimed on-the-wire length; the
+/// returned buffer holds at most the sFlow snippet.
+#[allow(clippy::too_many_arguments)]
+fn tcp_frame(
+    src_mac: EthernetAddress,
+    dst_mac: EthernetAddress,
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    sport: u16,
+    dport: u16,
+    payload_bytes: &[u8],
+    wire: usize,
+    rng: &mut SmallRng,
+) -> (Vec<u8>, usize) {
+    let headers = ethernet::HEADER_LEN + ipv4::HEADER_LEN + tcp::HEADER_LEN;
+    let wire = wire.max(headers + payload_bytes.len().min(74));
+    let ip_payload_len = wire - ethernet::HEADER_LEN - ipv4::HEADER_LEN;
+    let snip = wire.min(SNIPPET_LEN);
+    let mut buf = vec![0u8; snip];
+    emit_eth_ip(&mut buf, src_mac, dst_mac, src_ip, dst_ip, Protocol::Tcp, ip_payload_len, rng);
+    let l4 = &mut buf[ethernet::HEADER_LEN + ipv4::HEADER_LEN..];
+    let tcp_repr = tcp::Repr {
+        src_port: sport,
+        dst_port: dport,
+        seq: rng.gen(),
+        ack: rng.gen(),
+        flags: tcp::Flags::PSH | tcp::Flags::ACK,
+        window: rng.gen_range(8_000..65_000),
+    };
+    // Emit header fields directly (checksum covers only the snippet bytes;
+    // snippets cannot be checksum-verified anyway, as in real sFlow).
+    if l4.len() >= tcp::HEADER_LEN {
+        let avail = l4.len() - tcp::HEADER_LEN;
+        let n = avail.min(payload_bytes.len());
+        l4[tcp::HEADER_LEN..tcp::HEADER_LEN + n].copy_from_slice(&payload_bytes[..n]);
+        tcp_repr
+            .emit(&mut tcp::Packet::new_unchecked(&mut l4[..]), src_ip, dst_ip)
+            .expect("tcp emit");
+    }
+    (buf, wire)
+}
+
+/// Build a UDP frame snippet.
+#[allow(clippy::too_many_arguments)]
+fn udp_frame(
+    src_mac: EthernetAddress,
+    dst_mac: EthernetAddress,
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    sport: u16,
+    dport: u16,
+    payload_bytes: &[u8],
+    wire: usize,
+) -> (Vec<u8>, usize) {
+    let headers = ethernet::HEADER_LEN + ipv4::HEADER_LEN + udp::HEADER_LEN;
+    let wire = wire.max(headers + payload_bytes.len().min(86));
+    let ip_payload_len = wire - ethernet::HEADER_LEN - ipv4::HEADER_LEN;
+    let snip = wire.min(SNIPPET_LEN);
+    let mut buf = vec![0u8; snip];
+    // UDP needs no rng for headers; reuse a throwaway for the IP TTL.
+    let mut ttl_rng = SmallRng::seed_from_u64(u64::from(u32::from(src_ip)) ^ 0x77);
+    emit_eth_ip(
+        &mut buf,
+        src_mac,
+        dst_mac,
+        src_ip,
+        dst_ip,
+        Protocol::Udp,
+        ip_payload_len,
+        &mut ttl_rng,
+    );
+    let l4 = &mut buf[ethernet::HEADER_LEN + ipv4::HEADER_LEN..];
+    if l4.len() >= udp::HEADER_LEN {
+        let avail = l4.len() - udp::HEADER_LEN;
+        let n = avail.min(payload_bytes.len());
+        l4[udp::HEADER_LEN..udp::HEADER_LEN + n].copy_from_slice(&payload_bytes[..n]);
+        let udp_repr = udp::Repr {
+            src_port: sport,
+            dst_port: dport,
+            payload_len: ip_payload_len - udp::HEADER_LEN,
+        };
+        udp_repr
+            .emit(&mut udp::Packet::new_unchecked(&mut l4[..]), src_ip, dst_ip)
+            .expect("udp emit");
+    }
+    (buf, wire)
+}

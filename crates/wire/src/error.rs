@@ -1,0 +1,44 @@
+use core::fmt;
+
+/// The result type used throughout the wire crate.
+pub type Result<T> = core::result::Result<T, Error>;
+
+/// Parsing or emission failure.
+///
+/// Every decoder in this crate returns `Error` on bad input; none panic.
+/// The variants are intentionally coarse — the measurement pipeline only
+/// needs to know *that* a sample could not be dissected (it is then counted
+/// in the "other" bucket of the filtering cascade), but keeping the cause
+/// around makes tests and fuzzing much more pleasant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// The buffer is too short for the fixed header of the protocol.
+    Truncated,
+    /// A length field points outside the buffer (and truncation was not
+    /// permitted by the caller).
+    BadLength,
+    /// A version or fixed-value field has an unsupported value.
+    BadVersion,
+    /// A checksum did not verify.
+    BadChecksum,
+    /// A field value is illegal in context (e.g. IHL < 5, UDP length < 8).
+    Malformed,
+    /// The output buffer is too small for the value being emitted.
+    BufferTooSmall,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Error::Truncated => "buffer truncated",
+            Error::BadLength => "length field out of range",
+            Error::BadVersion => "unsupported version",
+            Error::BadChecksum => "checksum mismatch",
+            Error::Malformed => "malformed field",
+            Error::BufferTooSmall => "output buffer too small",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for Error {}

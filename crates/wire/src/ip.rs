@@ -1,0 +1,79 @@
+//! The IP protocol-number space shared by IPv4 parsing and the filtering
+//! cascade of the analysis pipeline.
+
+use core::fmt;
+
+/// An IP protocol number, with the handful of values the study's filtering
+/// steps distinguish spelled out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// ICMP (1) — explicitly removed from "peering traffic" (paper §2.2.1).
+    Icmp,
+    /// TCP (6) — 82 % of peering traffic.
+    Tcp,
+    /// UDP (17) — 18 % of peering traffic.
+    Udp,
+    /// GRE (47) — representative of the "other transport" sliver.
+    Gre,
+    /// ESP (50) — ditto.
+    Esp,
+    /// Anything else, preserved verbatim.
+    Unknown(u8),
+}
+
+impl From<u8> for Protocol {
+    fn from(raw: u8) -> Self {
+        match raw {
+            1 => Protocol::Icmp,
+            6 => Protocol::Tcp,
+            17 => Protocol::Udp,
+            47 => Protocol::Gre,
+            50 => Protocol::Esp,
+            other => Protocol::Unknown(other),
+        }
+    }
+}
+
+impl From<Protocol> for u8 {
+    fn from(value: Protocol) -> u8 {
+        match value {
+            Protocol::Icmp => 1,
+            Protocol::Tcp => 6,
+            Protocol::Udp => 17,
+            Protocol::Gre => 47,
+            Protocol::Esp => 50,
+            Protocol::Unknown(other) => other,
+        }
+    }
+}
+
+impl fmt::Display for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Protocol::Icmp => f.write_str("icmp"),
+            Protocol::Tcp => f.write_str("tcp"),
+            Protocol::Udp => f.write_str("udp"),
+            Protocol::Gre => f.write_str("gre"),
+            Protocol::Esp => f.write_str("esp"),
+            Protocol::Unknown(raw) => write!(f, "proto-{raw}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_round_trip() {
+        for raw in 0..=255u8 {
+            assert_eq!(u8::from(Protocol::from(raw)), raw);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Protocol::Tcp.to_string(), "tcp");
+        assert_eq!(Protocol::Unknown(99).to_string(), "proto-99");
+    }
+}

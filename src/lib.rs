@@ -1,0 +1,8 @@
+//! Umbrella crate re-exporting the `ixp-vantage` public API.
+pub use ixp_cert as cert;
+pub use ixp_core as core;
+pub use ixp_dns as dns;
+pub use ixp_netmodel as netmodel;
+pub use ixp_sflow as sflow;
+pub use ixp_traffic as traffic;
+pub use ixp_wire as wire;

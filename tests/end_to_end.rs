@@ -1,0 +1,167 @@
+//! End-to-end integration: synthetic Internet → sFlow bytes → analysis
+//! pipeline → every experiment of the paper, on one shared tiny model.
+
+use std::sync::OnceLock;
+
+use ixp_vantage::core::analyzer::{Analyzer, StudyReport};
+use ixp_vantage::core::{baseline, blindspots, changes, cluster, hetero, longitudinal, visibility};
+use ixp_vantage::netmodel::{InternetModel, ScaleConfig, Week};
+
+fn model() -> &'static InternetModel {
+    static M: OnceLock<InternetModel> = OnceLock::new();
+    M.get_or_init(|| InternetModel::generate(ScaleConfig::tiny(), 777))
+}
+
+fn analyzer() -> &'static Analyzer<'static> {
+    static A: OnceLock<Analyzer<'static>> = OnceLock::new();
+    A.get_or_init(|| Analyzer::new(model()))
+}
+
+fn study() -> &'static StudyReport {
+    static S: OnceLock<StudyReport> = OnceLock::new();
+    S.get_or_init(|| analyzer().run_study(8))
+}
+
+#[test]
+fn fig1_filtering_cascade_shape() {
+    let report = study().reference();
+    let f = &report.snapshot.filter;
+    use ixp_vantage::core::Category::*;
+    let total = f.total();
+    assert!(total.bytes > 0);
+    // Peering dominates; the removed slivers are small; TCP beats UDP.
+    assert!(f.peering().share_of(&total) > 95.0);
+    assert!(f.share(Ipv6) < 2.0);
+    assert!(f.share(NonMemberOrLocal) < 2.0);
+    assert!(f.share(Icmp) + f.share(OtherTransport) < 1.5);
+    let peering = f.peering();
+    let tcp_share = f.get(PeeringTcp).share_of(&peering);
+    assert!((70.0..95.0).contains(&tcp_share), "TCP share {tcp_share:.1}");
+}
+
+#[test]
+fn table1_visibility_hierarchy() {
+    let report = study().reference();
+    let t1 = visibility::table1(&report.snapshot);
+    // The vantage point sees most of the routed world each week...
+    let as_coverage = t1.peering.ases as f64 / model().registry.len() as f64;
+    assert!(as_coverage > 0.5, "AS coverage {as_coverage:.2}");
+    // ...and the server view is a proper subset.
+    assert!(t1.server.ips < t1.peering.ips);
+    assert!(t1.server.ases <= t1.peering.ases);
+    // Server view still spans about half the ASes (paper: ~50 %).
+    assert!(t1.server.ases as f64 / t1.peering.ases as f64 > 0.1);
+}
+
+#[test]
+fn table3_member_traffic_concentration() {
+    let report = study().reference();
+    let t3 = visibility::table3(&report.snapshot);
+    // Traffic concentrates on A(L) much more than AS counts do (paper:
+    // 67.3 % of traffic vs 1.0 % of ASes).
+    let traffic_member = t3.peering[3][0];
+    let ases_member = t3.peering[2][0];
+    assert!(
+        traffic_member > ases_member * 2.0,
+        "traffic A(L) {traffic_member:.1} vs ASes A(L) {ases_member:.1}"
+    );
+    // Server traffic is at least comparably member-concentrated (paper:
+    // 82.6 % vs 67.3 %; the strict ordering holds at paper scale — see
+    // EXPERIMENTS.md E6 — but is noisy at the tiny test scale).
+    assert!(t3.server[3][0] > t3.peering[3][0] - 15.0);
+}
+
+#[test]
+fn fig2_concentration_head() {
+    let report = study().reference();
+    let f2 = visibility::fig2(report);
+    // The head of the rank plot concentrates traffic (paper: top-34 > 6 %).
+    assert!(f2.top34_share > 6.0, "top-34 share {:.1}", f2.top34_share);
+    assert!(f2.above_half_percent > 0);
+}
+
+#[test]
+fn longitudinal_stable_pool_properties() {
+    let (f4a, _, f4c, f5) = longitudinal::churn(study());
+    let s = longitudinal::summary(&f4a, &f4c, &f5);
+    // Paper: ≈ 30 % stable IPs, ≈ 70 % stable ASes, > 60 % of traffic from
+    // the stable pool. Tolerances widen at tiny scale.
+    assert!((15.0..60.0).contains(&s.stable_ip_share), "stable IPs {:.1}", s.stable_ip_share);
+    assert!(s.stable_as_share > s.stable_ip_share);
+    assert!(s.min_stable_traffic_share > 35.0, "stable traffic {:.1}", s.min_stable_traffic_share);
+}
+
+#[test]
+fn events_are_detectable() {
+    let study = study();
+    // HTTPS drift up.
+    let trend = changes::https_trend(study);
+    assert!(trend.traffic_slope > 0.0 || trend.server_slope > 0.0);
+    // EC2 Ireland ramp.
+    let ec2 = changes::ec2_verdict(&changes::range_series(study, "eu-ireland"));
+    assert!(ec2.after > ec2.before);
+    // Sandy.
+    let sandy = changes::outage_verdict(&changes::range_series(study, "sc-us-east-1"));
+    assert!(sandy.week43 > 0 && sandy.week44 == 0 && sandy.week45 > 0);
+    // Reseller growth: combined across resellers (single cones are tiny at
+    // this scale).
+    let series = changes::reseller_series(study);
+    assert!(!series.is_empty());
+    let head: usize = series.iter().map(|s| s.counts[..5].iter().sum::<usize>()).sum();
+    let tail: usize =
+        series.iter().map(|s| s.counts[s.counts.len() - 5..].iter().sum::<usize>()).sum();
+    assert!(tail > head, "no reseller growth: head {head}, tail {tail}");
+}
+
+#[test]
+fn clustering_and_heterogeneity() {
+    let report = study().reference();
+    let clusters = cluster::cluster(report, &analyzer().dns);
+    // A partition with step 1 dominating.
+    assert_eq!(
+        clusters.clustered_total() + clusters.unclustered,
+        report.census.len()
+    );
+    let shares = clusters.step_shares();
+    assert!(shares[0] > shares[1] && shares[0] > shares[2]);
+    // Validated FP rate is small.
+    let v = cluster::validate_clusters(&clusters, report, model());
+    assert!(v.false_positive_rate < 0.10);
+
+    // Fig. 6: heterogeneity in both directions.
+    let f6b = hetero::fig6b(&clusters, 2, 50);
+    assert!(f6b.points.iter().any(|(_, _, ases)| *ases > 3));
+    let f6c = hetero::fig6c(report, &clusters, 1);
+    assert!(f6c.points.iter().any(|(_, _, orgs)| *orgs > 2));
+
+    // Fig. 7: Akamai-like off-link traffic exists but direct dominates.
+    let f7 = hetero::link_usage(analyzer(), report, &clusters, "akamai.example").unwrap();
+    assert!(f7.offlink_share > 0.0 && f7.offlink_share < 60.0);
+    assert!(f7.servers_via_other_links > 0);
+}
+
+#[test]
+fn blindspots_and_baselines() {
+    let report = study().reference();
+    // Domain recovery favours the popular head (paper: 80/63/20).
+    let rec = blindspots::domain_recovery(report, model());
+    assert!(rec.top_percentile >= rec.full_list);
+    // The resolver campaign finds servers the IXP misses.
+    let campaign = blindspots::resolver_campaign(analyzer(), report, Week::REFERENCE, 6);
+    assert!(campaign.found > 0);
+    assert!(campaign.unseen_total() > 0);
+    // Port-based classification over-claims.
+    let pb = baseline::port_baseline(analyzer(), report);
+    assert!(pb.false_servers > 0);
+}
+
+#[test]
+fn study_is_deterministic_across_fresh_models() {
+    let m1 = InternetModel::generate(ScaleConfig::tiny(), 31337);
+    let m2 = InternetModel::generate(ScaleConfig::tiny(), 31337);
+    let r1 = Analyzer::new(&m1).run_week(Week::REFERENCE);
+    let r2 = Analyzer::new(&m2).run_week(Week::REFERENCE);
+    assert_eq!(r1.census.len(), r2.census.len());
+    assert_eq!(r1.snapshot.peering.ips, r2.snapshot.peering.ips);
+    assert_eq!(r1.snapshot.https.confirmed, r2.snapshot.https.confirmed);
+}
