@@ -63,30 +63,30 @@ pub(crate) mod testutil {
     use crate::cluster::Clusters;
 
     /// The shared tiny model.
-    pub fn model() -> &'static InternetModel {
+    pub(crate) fn model() -> &'static InternetModel {
         static MODEL: OnceLock<InternetModel> = OnceLock::new();
         MODEL.get_or_init(|| InternetModel::tiny(31))
     }
 
     /// The shared analyzer over the tiny model.
-    pub fn analyzer() -> &'static Analyzer<'static> {
+    pub(crate) fn analyzer() -> &'static Analyzer<'static> {
         static ANALYZER: OnceLock<Analyzer<'static>> = OnceLock::new();
         ANALYZER.get_or_init(|| Analyzer::new(model()))
     }
 
     /// The shared full 17-week study.
-    pub fn study() -> &'static StudyReport {
+    pub(crate) fn study() -> &'static StudyReport {
         static STUDY: OnceLock<StudyReport> = OnceLock::new();
         STUDY.get_or_init(|| analyzer().run_study(8))
     }
 
     /// The shared reference-week report.
-    pub fn reference() -> &'static WeeklyReport {
+    pub(crate) fn reference() -> &'static WeeklyReport {
         study().week(Week::REFERENCE)
     }
 
     /// The shared reference-week clustering.
-    pub fn clusters() -> &'static Clusters {
+    pub(crate) fn clusters() -> &'static Clusters {
         static CLUSTERS: OnceLock<Clusters> = OnceLock::new();
         CLUSTERS.get_or_init(|| crate::cluster::cluster(reference(), &analyzer().dns))
     }

@@ -1,0 +1,232 @@
+//! The ratchet baseline: `lint-baseline.toml`.
+//!
+//! The baseline records, per `(file, rule)` pair, how many violations were
+//! grandfathered in when the linter was adopted. A run fails only when a
+//! pair *exceeds* its baselined count — so violations can be burned down but
+//! never added. `--update-baseline` rewrites the file from the current tree
+//! (intended to be run only when a count has gone *down*).
+//!
+//! The format is a tiny TOML subset (parsed by hand; the linter is
+//! dependency-free):
+//!
+//! ```toml
+//! [[entry]]
+//! file = "crates/core/src/census.rs"
+//! rule = "no-narrow-cast"
+//! count = 2
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::Finding;
+
+/// One grandfathered `(file, rule)` pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Workspace-relative file path (forward slashes).
+    pub file: String,
+    /// Rule id.
+    pub rule: String,
+    /// Number of tolerated violations.
+    pub count: usize,
+}
+
+/// A parsed baseline file.
+#[derive(Debug, Default, Clone)]
+pub struct Baseline {
+    /// All entries, in file order.
+    pub entries: Vec<Entry>,
+}
+
+impl Baseline {
+    /// Tolerated count for a `(file, rule)` pair; zero when absent.
+    pub fn allowed(&self, file: &str, rule: &str) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.file == file && e.rule == rule)
+            .map(|e| e.count)
+            .sum()
+    }
+}
+
+/// Parse the baseline text. Returns `Err` with a line-tagged message on any
+/// construct outside the supported subset.
+pub fn parse(text: &str) -> Result<Baseline, String> {
+    let mut baseline = Baseline::default();
+    let mut current: Option<Entry> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[entry]]" {
+            if let Some(e) = current.take() {
+                finish_entry(e, lineno, &mut baseline)?;
+            }
+            current = Some(Entry { file: String::new(), rule: String::new(), count: 0 });
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("baseline line {lineno}: expected `key = value`"));
+        };
+        let Some(entry) = current.as_mut() else {
+            return Err(format!("baseline line {lineno}: assignment outside [[entry]]"));
+        };
+        let key = key.trim();
+        let value = value.trim();
+        match key {
+            "file" => entry.file = unquote(value, lineno)?,
+            "rule" => entry.rule = unquote(value, lineno)?,
+            "count" => {
+                entry.count = value.parse().map_err(|_| {
+                    format!("baseline line {lineno}: count must be an integer")
+                })?;
+            }
+            other => {
+                return Err(format!("baseline line {lineno}: unknown key `{other}`"));
+            }
+        }
+    }
+    if let Some(e) = current.take() {
+        let last = text.lines().count();
+        finish_entry(e, last, &mut baseline)?;
+    }
+    Ok(baseline)
+}
+
+fn finish_entry(e: Entry, lineno: usize, baseline: &mut Baseline) -> Result<(), String> {
+    if e.file.is_empty() || e.rule.is_empty() {
+        return Err(format!(
+            "baseline entry ending at line {lineno}: `file` and `rule` are required"
+        ));
+    }
+    baseline.entries.push(e);
+    Ok(())
+}
+
+fn unquote(value: &str, lineno: usize) -> Result<String, String> {
+    let inner = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| format!("baseline line {lineno}: expected a quoted string"))?;
+    Ok(inner.to_string())
+}
+
+/// Render a baseline from raw findings (post-directive, pre-baseline),
+/// aggregated per `(file, rule)` and sorted.
+pub fn render(findings: &[Finding]) -> String {
+    let mut counts: BTreeMap<(&str, &str), usize> = BTreeMap::new();
+    for f in findings {
+        *counts.entry((f.file.as_str(), f.rule)).or_insert(0) += 1;
+    }
+    let mut out = String::from(
+        "# ixp-lint ratchet baseline. Counts may only decrease; regenerate with\n\
+         # `cargo run -p ixp-lint -- --update-baseline` after burning violations down.\n",
+    );
+    for ((file, rule), count) in counts {
+        let _ = write!(out, "\n[[entry]]\nfile = \"{file}\"\nrule = \"{rule}\"\ncount = {count}\n");
+    }
+    out
+}
+
+/// Apply the ratchet: keep findings for every `(file, rule)` pair whose
+/// actual count exceeds its baseline, and return notes about stale entries
+/// (actual below baseline) that should be ratcheted down.
+pub fn apply(findings: Vec<Finding>, baseline: &Baseline) -> (Vec<Finding>, Vec<String>) {
+    let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for f in &findings {
+        *counts.entry((f.file.clone(), f.rule.to_string())).or_insert(0) += 1;
+    }
+    let kept: Vec<Finding> = findings
+        .into_iter()
+        .filter(|f| {
+            let actual = counts[&(f.file.clone(), f.rule.to_string())];
+            actual > baseline.allowed(&f.file, f.rule)
+        })
+        .collect();
+
+    let mut notes = Vec::new();
+    for e in &baseline.entries {
+        let actual = counts.get(&(e.file.clone(), e.rule.clone())).copied().unwrap_or(0);
+        if actual < e.count {
+            notes.push(format!(
+                "stale baseline: {}:{} allows {} but only {} remain; \
+                 run --update-baseline to ratchet down",
+                e.file, e.rule, e.count, actual
+            ));
+        }
+    }
+    (kept, notes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, line: u32, rule: &'static str) -> Finding {
+        Finding::new(file, line, rule, "msg")
+    }
+
+    #[test]
+    fn round_trip() {
+        let findings = vec![
+            finding("a.rs", 1, "no-index"),
+            finding("a.rs", 9, "no-index"),
+            finding("b.rs", 2, "no-unwrap"),
+        ];
+        let text = render(&findings);
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed.allowed("a.rs", "no-index"), 2);
+        assert_eq!(parsed.allowed("b.rs", "no-unwrap"), 1);
+        assert_eq!(parsed.allowed("b.rs", "no-index"), 0);
+    }
+
+    #[test]
+    fn ratchet_blocks_increases_and_tolerates_baselined() {
+        let baseline = parse(
+            "[[entry]]\nfile = \"a.rs\"\nrule = \"no-index\"\ncount = 1\n",
+        )
+        .unwrap();
+        // Exactly at baseline: suppressed.
+        let (kept, notes) = apply(vec![finding("a.rs", 3, "no-index")], &baseline);
+        assert!(kept.is_empty());
+        assert!(notes.is_empty());
+        // One above baseline: all findings for the pair are reported.
+        let (kept, _) = apply(
+            vec![finding("a.rs", 3, "no-index"), finding("a.rs", 8, "no-index")],
+            &baseline,
+        );
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn stale_entries_are_noted() {
+        let baseline = parse(
+            "[[entry]]\nfile = \"a.rs\"\nrule = \"no-index\"\ncount = 5\n",
+        )
+        .unwrap();
+        let (kept, notes) = apply(vec![finding("a.rs", 3, "no-index")], &baseline);
+        assert!(kept.is_empty());
+        assert_eq!(notes.len(), 1);
+        assert!(notes[0].contains("only 1 remain"));
+    }
+
+    #[test]
+    fn parse_errors_are_line_tagged() {
+        assert!(parse("file = \"x\"\n").unwrap_err().contains("line 1"));
+        assert!(parse("[[entry]]\nfile = x\n").unwrap_err().contains("quoted"));
+        assert!(parse("[[entry]]\ncount = 1\n").unwrap_err().contains("required"));
+        assert!(parse("[[entry]]\nfile = \"a\"\nrule = \"r\"\ncount = q\n")
+            .unwrap_err()
+            .contains("integer"));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# header\n\n[[entry]]\nfile = \"a.rs\"\nrule = \"no-unwrap\"\ncount = 2\n";
+        assert_eq!(parse(text).unwrap().allowed("a.rs", "no-unwrap"), 2);
+    }
+}

@@ -1,0 +1,377 @@
+//! ixp-lint — the workspace invariant linter.
+//!
+//! A dependency-free static analysis pass over every `.rs` file in the
+//! workspace, enforcing the project's no-panic decoder contract and a few
+//! numeric-hygiene rules (see [`rules`] for the table). Run it as
+//! `cargo run -p ixp-lint`; it exits 0 on a clean tree, 1 with
+//! `file:line: rule: message` output when violations exceed the committed
+//! ratchet baseline (`lint-baseline.toml`), and 2 on usage or I/O errors.
+//!
+//! False positives are suppressed inline:
+//!
+//! ```text
+//! let b = frame[0]; // ixp-lint: allow(no-index) length checked above
+//! ```
+//!
+//! placed on the offending line, or on its own line directly above. A whole
+//! file can opt out of one rule with a mandatory justification:
+//!
+//! ```text
+//! // ixp-lint: allow-file(no-float-eq, "bit-exact golden values")
+//! ```
+//!
+//! Family aliases `l1`..`l4` expand to their rule groups.
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+
+use std::collections::{BTreeMap, HashMap};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use lexer::Lexed;
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id (one of [`rules::ALL_RULES`]).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    /// Construct a finding.
+    pub fn new(file: &str, line: u32, rule: &'static str, message: &str) -> Self {
+        Finding { file: file.to_string(), line, rule, message: message.to_string() }
+    }
+
+    /// The canonical `file:line: rule: message` rendering.
+    pub fn render(&self) -> String {
+        format!("{}:{}: {}: {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// Allow directives collected from one file's comments.
+#[derive(Debug, Default)]
+struct FileAllows {
+    /// Line number → rules allowed on that line.
+    lines: HashMap<u32, Vec<&'static str>>,
+    /// Rules allowed for the whole file.
+    file_wide: Vec<&'static str>,
+}
+
+impl FileAllows {
+    fn suppresses(&self, rule: &str, line: u32) -> bool {
+        self.file_wide.iter().any(|r| *r == rule)
+            || self.lines.get(&line).is_some_and(|rs| rs.iter().any(|r| *r == rule))
+    }
+}
+
+const DIRECTIVE_MARKER: &str = "ixp-lint:";
+
+/// Parse lint directives (the `ixp-lint` comment marker) out of a file's
+/// comments. Malformed directives become `bad-directive` findings.
+fn parse_directives(path: &str, lexed: &Lexed, findings: &mut Vec<Finding>) -> FileAllows {
+    let mut allows = FileAllows::default();
+    for c in &lexed.comments {
+        let Some(pos) = c.text.find(DIRECTIVE_MARKER) else { continue };
+        let rest = c.text[pos + DIRECTIVE_MARKER.len()..].trim();
+        if let Some(args) = rest.strip_prefix("allow-file") {
+            let Some(inner) = paren_args(args) else {
+                findings.push(Finding::new(
+                    path,
+                    c.line,
+                    "bad-directive",
+                    "allow-file expects `allow-file(rule, \"reason\")`",
+                ));
+                continue;
+            };
+            let Some((rule_name, reason)) = inner.split_once(',') else {
+                findings.push(Finding::new(
+                    path,
+                    c.line,
+                    "bad-directive",
+                    "allow-file requires a quoted reason after the rule",
+                ));
+                continue;
+            };
+            let reason = reason.trim();
+            let quoted = reason.len() >= 2
+                && reason.starts_with('"')
+                && reason.ends_with('"')
+                && reason.len() > 2;
+            if !quoted {
+                findings.push(Finding::new(
+                    path,
+                    c.line,
+                    "bad-directive",
+                    "allow-file reason must be a non-empty quoted string",
+                ));
+                continue;
+            }
+            match rules::resolve_rule(rule_name.trim()) {
+                Some(resolved) => allows.file_wide.extend(resolved),
+                None => findings.push(Finding::new(
+                    path,
+                    c.line,
+                    "bad-directive",
+                    &format!("unknown rule `{}` in allow-file", rule_name.trim()),
+                )),
+            }
+        } else if let Some(args) = rest.strip_prefix("allow") {
+            let Some(inner) = paren_args(args) else {
+                findings.push(Finding::new(
+                    path,
+                    c.line,
+                    "bad-directive",
+                    "allow expects `allow(rule[, rule...])`",
+                ));
+                continue;
+            };
+            // The directive covers its own line; a comment alone on a line
+            // also covers the next line of code.
+            let mut targets = vec![c.line];
+            if c.own_line {
+                if let Some(next) =
+                    lexed.tokens.iter().map(|t| t.line).filter(|l| *l > c.line).min()
+                {
+                    targets.push(next);
+                }
+            }
+            for rule_name in inner.split(',') {
+                match rules::resolve_rule(rule_name.trim()) {
+                    Some(resolved) => {
+                        for &line in &targets {
+                            allows.lines.entry(line).or_default().extend(resolved.iter());
+                        }
+                    }
+                    None => findings.push(Finding::new(
+                        path,
+                        c.line,
+                        "bad-directive",
+                        &format!("unknown rule `{}` in allow", rule_name.trim()),
+                    )),
+                }
+            }
+        } else {
+            findings.push(Finding::new(
+                path,
+                c.line,
+                "bad-directive",
+                &format!("unknown directive `{}`", rest.split_whitespace().next().unwrap_or("")),
+            ));
+        }
+    }
+    allows
+}
+
+/// Extract `inner` from a `(inner)` argument list; trailing free text after
+/// the closing paren is treated as justification and ignored.
+fn paren_args(args: &str) -> Option<&str> {
+    let args = args.trim_start();
+    let rest = args.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    Some(&rest[..close])
+}
+
+/// Lint a set of in-memory sources. `files` yields workspace-relative
+/// paths (forward slashes) and their contents. Findings come back sorted
+/// by file, line, rule.
+pub fn scan_sources<I>(files: I) -> Vec<Finding>
+where
+    I: IntoIterator<Item = (String, String)>,
+{
+    let mut findings = Vec::new();
+    let mut l4_map = BTreeMap::new();
+    let mut allows: HashMap<String, FileAllows> = HashMap::new();
+
+    for (path, src) in files {
+        let lexed = lexer::lex(&src);
+        let fa = parse_directives(&path, &lexed, &mut findings);
+        rules::check_tokens(&path, &lexed, &mut findings);
+        rules::collect_error_info(&path, &lexed, &mut l4_map);
+        allows.insert(path, fa);
+    }
+    rules::finalize_error_impl(&l4_map, &mut findings);
+
+    findings.retain(|f| {
+        f.rule == "bad-directive"
+            || !allows.get(&f.file).is_some_and(|fa| fa.suppresses(f.rule, f.line))
+    });
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
+    });
+    findings
+}
+
+/// Directory names the walker never descends into: build output, the
+/// offline dependency stand-ins, VCS metadata, lint test fixtures (which
+/// contain violations on purpose), and anything hidden.
+fn skip_dir(name: &str) -> bool {
+    name == "target" || name == "vendor" || name == "fixtures" || name.starts_with('.')
+}
+
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !skip_dir(&name) {
+                collect_rs(root, &path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint every `.rs` file under `root` (a workspace checkout).
+pub fn scan_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut paths = Vec::new();
+    collect_rs(root, root, &mut paths)?;
+    paths.sort();
+    let mut files = Vec::with_capacity(paths.len());
+    for p in paths {
+        let rel = p
+            .strip_prefix(root)
+            .unwrap_or(&p)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        files.push((rel, fs::read_to_string(&p)?));
+    }
+    Ok(scan_sources(files))
+}
+
+/// Walk up from `start` looking for a `Cargo.toml` declaring `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan_one(path: &str, src: &str) -> Vec<Finding> {
+        scan_sources([(path.to_string(), src.to_string())])
+    }
+
+    #[test]
+    fn same_line_allow_suppresses() {
+        let src = "fn f(b: &[u8]) -> u8 { b[0] } // ixp-lint: allow(no-index) bounds checked\n";
+        assert!(scan_one("crates/wire/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn own_line_allow_covers_next_code_line() {
+        let src = "\
+fn f(b: &[u8]) -> u8 {
+    // ixp-lint: allow(no-index) caller guarantees length
+    b[0]
+}
+";
+        assert!(scan_one("crates/wire/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_on_wrong_line_does_not_leak() {
+        let src = "\
+fn f(b: &[u8]) -> u8 {
+    // ixp-lint: allow(no-index) only covers the next line
+    let _ = b.len();
+    b[0]
+}
+";
+        let got = scan_one("crates/wire/src/x.rs", src);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].rule, "no-index");
+        assert_eq!(got[0].line, 4);
+    }
+
+    #[test]
+    fn family_alias_expands() {
+        let src = "fn f(o: Option<u8>, b: &[u8]) { o.unwrap(); b[0]; } // ixp-lint: allow(l1)\n";
+        assert!(scan_one("crates/sflow/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_file_needs_reason() {
+        let with = "// ixp-lint: allow-file(no-index, \"fixed-size header\")\nfn f(b: &[u8]) -> u8 { b[0] }\nfn g(b: &[u8]) -> u8 { b[1] }\n";
+        assert!(scan_one("crates/wire/src/x.rs", with).is_empty());
+
+        let without = "// ixp-lint: allow-file(no-index)\nfn f(b: &[u8]) -> u8 { b[0] }\n";
+        let got = scan_one("crates/wire/src/x.rs", without);
+        assert_eq!(got.len(), 2, "{got:?}");
+        assert!(got.iter().any(|f| f.rule == "bad-directive"));
+        assert!(got.iter().any(|f| f.rule == "no-index"));
+    }
+
+    #[test]
+    fn unknown_rule_is_bad_directive() {
+        let src = "fn f() {} // ixp-lint: allow(no-such-rule)\n";
+        let got = scan_one("crates/core/src/x.rs", src);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].rule, "bad-directive");
+        assert!(got[0].message.contains("no-such-rule"));
+    }
+
+    #[test]
+    fn directives_in_strings_are_ignored() {
+        let src = "fn f() -> &'static str { \"// ixp-lint: allow(nope)\" }\n";
+        assert!(scan_one("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn render_format() {
+        let f = Finding::new("a.rs", 7, "no-unwrap", "msg");
+        assert_eq!(f.render(), "a.rs:7: no-unwrap: msg");
+    }
+
+    #[test]
+    fn findings_are_sorted() {
+        let files = [
+            ("crates/wire/src/b.rs".to_string(), "fn f(b:&[u8]){ b[0]; }".to_string()),
+            ("crates/wire/src/a.rs".to_string(), "fn f(o:Option<u8>){ o.unwrap(); }".to_string()),
+        ];
+        let got = scan_sources(files);
+        assert_eq!(got[0].file, "crates/wire/src/a.rs");
+        assert_eq!(got[1].file, "crates/wire/src/b.rs");
+    }
+
+    #[test]
+    fn l4_spans_files_within_a_crate() {
+        let files = [
+            (
+                "crates/x/src/err.rs".to_string(),
+                "pub enum XError { A }".to_string(),
+            ),
+            (
+                "crates/x/src/fmt.rs".to_string(),
+                "impl fmt::Display for XError {}\nimpl std::error::Error for XError {}".to_string(),
+            ),
+        ];
+        assert!(scan_sources(files).is_empty());
+    }
+}

@@ -1,0 +1,117 @@
+//! The `ixp-lint` command-line entry point.
+//!
+//! ```text
+//! cargo run -p ixp-lint                      # lint the workspace
+//! cargo run -p ixp-lint -- --update-baseline # rewrite lint-baseline.toml
+//! cargo run -p ixp-lint -- --root <dir>      # lint another checkout
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations above baseline, 2 usage/I-O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const BASELINE_FILE: &str = "lint-baseline.toml";
+
+fn usage() -> &'static str {
+    "usage: ixp-lint [--root <dir>] [--update-baseline]\n\
+     \n\
+     Lints every workspace .rs file against the project rules (see\n\
+     crates/lint/src/rules.rs). Violations are tolerated only up to the\n\
+     counts recorded in lint-baseline.toml; --update-baseline rewrites\n\
+     that file from the current tree."
+}
+
+struct Args {
+    root: Option<PathBuf>,
+    update_baseline: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { root: None, update_baseline: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                let v = it.next().ok_or("--root requires a directory argument")?;
+                args.root = Some(PathBuf::from(v));
+            }
+            "--update-baseline" => args.update_baseline = true,
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let root = match args.root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+            ixp_lint::find_workspace_root(&cwd)
+                .ok_or("no workspace Cargo.toml found above the current directory")?
+        }
+    };
+
+    let findings = ixp_lint::scan_workspace(&root)
+        .map_err(|e| format!("scanning {}: {e}", root.display()))?;
+
+    let baseline_path = root.join(BASELINE_FILE);
+    if args.update_baseline {
+        let text = ixp_lint::baseline::render(&findings);
+        std::fs::write(&baseline_path, text)
+            .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
+        let pairs = {
+            let mut keys: Vec<_> = findings.iter().map(|f| (&f.file, f.rule)).collect();
+            keys.sort();
+            keys.dedup();
+            keys.len()
+        };
+        println!(
+            "ixp-lint: baseline updated: {} violation(s) across {} (file, rule) pair(s)",
+            findings.len(),
+            pairs
+        );
+        return Ok(true);
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => ixp_lint::baseline::parse(&text)
+            .map_err(|e| format!("{}: {e}", baseline_path.display()))?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Default::default(),
+        Err(e) => return Err(format!("reading {}: {e}", baseline_path.display())),
+    };
+
+    let (kept, notes) = ixp_lint::baseline::apply(findings, &baseline);
+    for note in &notes {
+        eprintln!("ixp-lint: note: {note}");
+    }
+    for f in &kept {
+        println!("{}", f.render());
+    }
+    if kept.is_empty() {
+        Ok(true)
+    } else {
+        eprintln!("ixp-lint: {} violation(s)", kept.len());
+        Ok(false)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::from(0),
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{}", usage());
+                ExitCode::from(0)
+            } else {
+                eprintln!("ixp-lint: error: {msg}");
+                eprintln!("{}", usage());
+                ExitCode::from(2)
+            }
+        }
+    }
+}

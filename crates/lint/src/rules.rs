@@ -1,0 +1,477 @@
+//! The project rules, run over the token stream of each file.
+//!
+//! Rules are scoped by workspace-relative path. All checks are lexical
+//! approximations of the real invariants — exact enough for this codebase,
+//! with the inline allow directive as the escape hatch for false positives.
+//!
+//! | rule            | family | scope                                         |
+//! |-----------------|--------|-----------------------------------------------|
+//! | `no-unwrap`     | L1     | parser crates (`ixp-wire`, `ixp-sflow`)       |
+//! | `no-expect`     | L1     | parser crates                                 |
+//! | `no-panic`      | L1     | parser crates (`panic!`/`todo!`/`unimplemented!`) |
+//! | `no-unreachable`| L1     | parser crates                                 |
+//! | `no-index`      | L1     | parser crates (`[i]` indexing / slicing)      |
+//! | `no-narrow-cast`| L2     | `sflow::accounting`, `core::census`           |
+//! | `no-float-eq`   | L3     | `core::{longitudinal, visibility, baseline}`  |
+//! | `error-impl`    | L4     | every crate `src/` tree                       |
+//!
+//! Test code (`#[cfg(test)]` items) is exempt from L1–L3.
+
+use std::collections::{BTreeMap, HashSet};
+
+use crate::lexer::{Kind, Lexed};
+use crate::Finding;
+
+/// Every rule the linter knows, including the meta rule for malformed
+/// directives.
+pub const ALL_RULES: &[&str] = &[
+    "no-unwrap",
+    "no-expect",
+    "no-panic",
+    "no-unreachable",
+    "no-index",
+    "no-narrow-cast",
+    "no-float-eq",
+    "error-impl",
+    "bad-directive",
+];
+
+/// The L1 family: the no-panic decoder contract.
+pub const L1_RULES: &[&str] =
+    &["no-unwrap", "no-expect", "no-panic", "no-unreachable", "no-index"];
+
+/// Expand a rule name or family alias (`l1`..`l4`) into concrete rules.
+/// Returns `None` for unknown names.
+pub fn resolve_rule(name: &str) -> Option<Vec<&'static str>> {
+    if let Some(&r) = ALL_RULES.iter().find(|r| **r == name) {
+        return Some(vec![r]);
+    }
+    match name {
+        "l1" | "L1" => Some(L1_RULES.to_vec()),
+        "l2" | "L2" => Some(vec!["no-narrow-cast"]),
+        "l3" | "L3" => Some(vec!["no-float-eq"]),
+        "l4" | "L4" => Some(vec!["error-impl"]),
+        _ => None,
+    }
+}
+
+/// L1 scope: source trees of the two packet-parsing crates.
+fn l1_applies(path: &str) -> bool {
+    path.starts_with("crates/wire/src/") || path.starts_with("crates/sflow/src/")
+}
+
+/// L2 scope: modules that aggregate counters and must not silently truncate.
+fn l2_applies(path: &str) -> bool {
+    path == "crates/sflow/src/accounting.rs" || path == "crates/core/src/census.rs"
+}
+
+/// L3 scope: longitudinal/visibility analytics comparing measured ratios.
+fn l3_applies(path: &str) -> bool {
+    path == "crates/core/src/longitudinal.rs"
+        || path == "crates/core/src/visibility.rs"
+        || path == "crates/core/src/baseline.rs"
+}
+
+/// L4 scope: any `src/` tree (root package or a workspace crate). Excludes
+/// tests, examples, benches and fixture trees.
+fn l4_applies(path: &str) -> bool {
+    let mut parts = path.split('/');
+    match parts.next() {
+        Some("src") => true,
+        Some("crates") => {
+            let _crate_name = parts.next();
+            parts.next() == Some("src")
+        }
+        _ => false,
+    }
+}
+
+/// Identifiers that may legally precede `[` without it being an index
+/// expression (mostly keywords introducing array patterns/types).
+const NON_INDEXABLE_KEYWORDS: &[&str] = &[
+    "let", "in", "mut", "ref", "return", "as", "if", "else", "match", "move",
+    "static", "const", "dyn", "impl", "for", "where", "use", "pub", "enum",
+    "struct", "fn", "type", "break", "continue", "loop", "while", "unsafe",
+    "mod", "trait", "box", "yield", "async", "await", "become",
+];
+
+/// Cast targets treated as narrowing-prone. Lexically we cannot see the
+/// source type, so every `as` to one of these is flagged in L2 scope;
+/// widening targets (`u64`, `usize`, `f64`, ...) are not.
+const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
+
+/// Run the per-file rules (L1, L2, L3) over one lexed file.
+pub fn check_tokens(path: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
+    let l1 = l1_applies(path);
+    let l2 = l2_applies(path);
+    let l3 = l3_applies(path);
+    if !(l1 || l2 || l3) {
+        return;
+    }
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.in_test {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|j| &toks[j].kind);
+        let next = toks.get(i + 1).map(|t| &t.kind);
+        // L2 runs before the big match: accounting.rs sits inside an L1
+        // scope too, and `as` is an identifier the L1 arm would swallow.
+        if l2 {
+            if let Kind::Ident(name) = &t.kind {
+                if name == "as" {
+                    if let Some(Kind::Ident(target)) = next {
+                        if NARROW_TARGETS.contains(&target.as_str()) {
+                            out.push(Finding::new(
+                                path,
+                                t.line,
+                                "no-narrow-cast",
+                                &format!(
+                                    "narrowing `as {target}` in an accounting module; \
+                                     use `TryFrom` or a widening type"
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        match &t.kind {
+            Kind::Ident(name) if l1 => {
+                let after_dot = prev == Some(&Kind::Punct('.'));
+                let bang = next == Some(&Kind::Punct('!'));
+                match name.as_str() {
+                    "unwrap" if after_dot => out.push(Finding::new(
+                        path,
+                        t.line,
+                        "no-unwrap",
+                        "`.unwrap()` in a parser crate; return `Error` instead",
+                    )),
+                    "expect" if after_dot => out.push(Finding::new(
+                        path,
+                        t.line,
+                        "no-expect",
+                        "`.expect()` in a parser crate; return `Error` instead",
+                    )),
+                    "panic" | "todo" | "unimplemented" if bang => out.push(Finding::new(
+                        path,
+                        t.line,
+                        "no-panic",
+                        &format!("`{name}!` in a parser crate; decoders must not panic"),
+                    )),
+                    "unreachable" if bang => out.push(Finding::new(
+                        path,
+                        t.line,
+                        "no-unreachable",
+                        "`unreachable!` in a parser crate; return `Error` for impossible states",
+                    )),
+                    _ => {}
+                }
+            }
+            Kind::Punct('[') if l1 => {
+                let indexable = match prev {
+                    Some(Kind::Ident(id)) => {
+                        !NON_INDEXABLE_KEYWORDS.contains(&id.as_str())
+                    }
+                    Some(Kind::Punct(']' | ')' | '?')) | Some(Kind::Int) => true,
+                    _ => false,
+                };
+                if indexable {
+                    out.push(Finding::new(
+                        path,
+                        t.line,
+                        "no-index",
+                        "`[..]` indexing/slicing can panic; use `.get()` or slice patterns",
+                    ));
+                }
+            }
+            Kind::EqEq | Kind::Ne if l3 => {
+                let float_adjacent = matches!(prev, Some(Kind::Float))
+                    || matches!(next, Some(&Kind::Float));
+                if float_adjacent {
+                    out.push(Finding::new(
+                        path,
+                        t.line,
+                        "no-float-eq",
+                        "exact float comparison; compare against a tolerance instead",
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Per-crate facts feeding the L4 rule.
+#[derive(Debug, Default)]
+pub struct CrateErrorInfo {
+    /// `pub enum <name>` where the name contains `Error`, outside tests:
+    /// (enum name, file, line).
+    pub error_enums: Vec<(String, String, u32)>,
+    /// Type names with an `impl ... Display for <name>` anywhere in the crate.
+    pub display_impls: HashSet<String>,
+    /// Type names with an `impl ... Error for <name>` anywhere in the crate.
+    pub error_impls: HashSet<String>,
+}
+
+/// Group key for a file: the crate it belongs to (`crates/<name>` or the
+/// root package).
+fn crate_group(path: &str) -> String {
+    if let Some(rest) = path.strip_prefix("crates/") {
+        if let Some(name) = rest.split('/').next() {
+            return format!("crates/{name}");
+        }
+    }
+    "(root)".to_string()
+}
+
+/// Collect L4 facts from one lexed file into the per-crate map.
+pub fn collect_error_info(
+    path: &str,
+    lexed: &Lexed,
+    map: &mut BTreeMap<String, CrateErrorInfo>,
+) {
+    if !l4_applies(path) {
+        return;
+    }
+    let info = map.entry(crate_group(path)).or_default();
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        match &toks[i].kind {
+            // `pub enum FooError` / `pub(crate) enum FooError`
+            Kind::Ident(kw) if kw == "enum" && !toks[i].in_test => {
+                let is_pub = match i.checked_sub(1).map(|j| &toks[j].kind) {
+                    Some(Kind::Ident(p)) => p == "pub",
+                    Some(Kind::Punct(')')) => {
+                        // pub(crate) / pub(super): scan back past the parens.
+                        let mut j = i - 1;
+                        while j > 0 && toks[j].kind != Kind::Punct('(') {
+                            j -= 1;
+                        }
+                        j > 0 && matches!(&toks[j - 1].kind, Kind::Ident(p) if p == "pub")
+                    }
+                    _ => false,
+                };
+                if !is_pub {
+                    continue;
+                }
+                if let Some(Kind::Ident(name)) = toks.get(i + 1).map(|t| &t.kind) {
+                    if name.contains("Error") {
+                        info.error_enums.push((
+                            name.clone(),
+                            path.to_string(),
+                            toks[i + 1].line,
+                        ));
+                    }
+                }
+            }
+            // `impl [<...>] [path::]Trait for Type`
+            Kind::Ident(kw) if kw == "for" => {
+                // Walk back: the trait name is the last ident before `for`;
+                // only count it if an `impl` appears first (not a loop).
+                let mut trait_name: Option<&str> = None;
+                let mut j = i;
+                let mut is_impl = false;
+                while j > 0 {
+                    j -= 1;
+                    match &toks[j].kind {
+                        Kind::Ident(id) if id == "impl" => {
+                            is_impl = true;
+                            break;
+                        }
+                        Kind::Ident(id) => {
+                            if trait_name.is_none() {
+                                trait_name = Some(id);
+                            }
+                        }
+                        Kind::Punct('{' | '}' | ';') => break,
+                        _ => {}
+                    }
+                }
+                if !is_impl {
+                    continue;
+                }
+                if let Some(Kind::Ident(type_name)) = toks.get(i + 1).map(|t| &t.kind) {
+                    match trait_name {
+                        Some("Display") => {
+                            info.display_impls.insert(type_name.clone());
+                        }
+                        Some("Error") => {
+                            info.error_impls.insert(type_name.clone());
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Emit an `error-impl` finding for every public error enum missing a
+/// `Display` or `std::error::Error` impl within its crate.
+pub fn finalize_error_impl(
+    map: &BTreeMap<String, CrateErrorInfo>,
+    out: &mut Vec<Finding>,
+) {
+    for info in map.values() {
+        for (name, file, line) in &info.error_enums {
+            let mut missing = Vec::new();
+            if !info.display_impls.contains(name) {
+                missing.push("Display");
+            }
+            if !info.error_impls.contains(name) {
+                missing.push("std::error::Error");
+            }
+            if !missing.is_empty() {
+                out.push(Finding::new(
+                    file,
+                    *line,
+                    "error-impl",
+                    &format!("`pub enum {name}` does not implement {}", missing.join(" + ")),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(path: &str, src: &str) -> Vec<(u32, &'static str)> {
+        let lexed = lex(src);
+        let mut out = Vec::new();
+        check_tokens(path, &lexed, &mut out);
+        out.into_iter().map(|f| (f.line, f.rule)).collect()
+    }
+
+    #[test]
+    fn l1_catches_all_five_shapes() {
+        let src = "
+fn f(b: &[u8]) {
+    let a = b.first().unwrap();
+    let c = b.get(1).expect(\"x\");
+    panic!(\"boom\");
+    unreachable!();
+    let d = b[0];
+}
+";
+        let got = run("crates/wire/src/x.rs", src);
+        assert_eq!(
+            got,
+            vec![
+                (3, "no-unwrap"),
+                (4, "no-expect"),
+                (5, "no-panic"),
+                (6, "no-unreachable"),
+                (7, "no-index"),
+            ]
+        );
+    }
+
+    #[test]
+    fn l1_out_of_scope_and_test_code_are_clean() {
+        let src = "fn f(b: &[u8]) -> u8 { b[0] }";
+        assert!(run("crates/core/src/x.rs", src).is_empty());
+        let test_src = "#[cfg(test)]\nmod tests { fn t(b: &[u8]) { b[0]; b.first().unwrap(); } }";
+        assert!(run("crates/wire/src/x.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn no_index_skips_types_patterns_and_macros() {
+        let src = "
+fn f() -> [u8; 4] {
+    let [a, b, c, d] = [1u8, 2, 3, 4];
+    let v = vec![a, b];
+    if let Some([x, ..]) = Some([c, d]) { let _ = x; }
+    [a, b, c, d]
+}
+";
+        assert!(run("crates/wire/src/x.rs", src).is_empty(), "{:?}", run("crates/wire/src/x.rs", src));
+    }
+
+    #[test]
+    fn no_index_catches_chained_and_call_results() {
+        let src = "fn f(v: &[Vec<u8>]) { v[0][1]; f2()[2]; }";
+        let got = run("crates/sflow/src/x.rs", src);
+        assert_eq!(got.len(), 3);
+        assert!(got.iter().all(|(_, r)| *r == "no-index"));
+    }
+
+    #[test]
+    fn l2_narrowing_only_in_scope() {
+        let src = "fn f(x: usize) { let _ = x as u32; let _ = x as u64; }";
+        let got = run("crates/core/src/census.rs", src);
+        assert_eq!(got, vec![(1, "no-narrow-cast")]);
+        assert!(run("crates/core/src/other.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l1_and_l2_both_fire_in_accounting() {
+        let src = "fn f(x: usize, o: Option<u8>) { let _ = x as u16; o.unwrap(); }";
+        let got = run("crates/sflow/src/accounting.rs", src);
+        assert_eq!(got, vec![(1, "no-narrow-cast"), (1, "no-unwrap")]);
+    }
+
+    #[test]
+    fn l3_float_eq() {
+        let src = "fn f(x: f64) -> bool { x == 0.5 || 1.0 != x || x == y }";
+        let got = run("crates/core/src/visibility.rs", src);
+        assert_eq!(got, vec![(1, "no-float-eq"), (1, "no-float-eq")]);
+    }
+
+    #[test]
+    fn l4_flags_missing_impls_and_accepts_complete_ones() {
+        let good = "
+pub enum ParseError { Bad }
+impl fmt::Display for ParseError { }
+impl std::error::Error for ParseError { }
+";
+        let bad = "pub enum DecodeError { Short }\nimpl fmt::Display for DecodeError {}\n";
+        let mut map = BTreeMap::new();
+        collect_error_info("crates/a/src/lib.rs", &lex(good), &mut map);
+        collect_error_info("crates/b/src/lib.rs", &lex(bad), &mut map);
+        let mut out = Vec::new();
+        finalize_error_impl(&map, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "error-impl");
+        assert!(out[0].message.contains("std::error::Error"));
+        assert!(!out[0].message.contains("Display +"));
+    }
+
+    #[test]
+    fn l4_cross_file_impls_count() {
+        let decl = "pub enum FetchError { Nope }";
+        let impls = "impl core::fmt::Display for FetchError {}\nimpl std::error::Error for FetchError {}";
+        let mut map = BTreeMap::new();
+        collect_error_info("crates/a/src/err.rs", &lex(decl), &mut map);
+        collect_error_info("crates/a/src/fmt.rs", &lex(impls), &mut map);
+        let mut out = Vec::new();
+        finalize_error_impl(&map, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn l4_ignores_for_loops_and_test_enums() {
+        let src = "
+fn f() { for x in 0..3 { let _ = x; } }
+#[cfg(test)]
+mod tests { pub enum TestError { X } }
+";
+        let mut map = BTreeMap::new();
+        collect_error_info("crates/a/src/lib.rs", &lex(src), &mut map);
+        let mut out = Vec::new();
+        finalize_error_impl(&map, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn aliases_resolve() {
+        assert_eq!(resolve_rule("l1").map(|v| v.len()), Some(5));
+        assert_eq!(resolve_rule("no-index"), Some(vec!["no-index"]));
+        assert_eq!(resolve_rule("nope"), None);
+    }
+}

@@ -1,0 +1,89 @@
+//! Exit-code and output tests for the `ixp-lint` binary, run against the
+//! committed fixture trees and a temporary tree for the baseline ratchet.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+fn run_lint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ixp-lint"))
+        .args(args)
+        .output()
+        .expect("spawn ixp-lint")
+}
+
+fn run_on(root: &Path) -> Output {
+    run_lint(&["--root", root.to_str().unwrap()])
+}
+
+#[test]
+fn violations_tree_exits_one_with_findings_on_stdout() {
+    let out = run_on(&fixture("violations"));
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("crates/wire/src/bad.rs:2: no-unwrap: "),
+        "stdout was: {stdout}"
+    );
+    assert!(stdout.contains("crates/wire/src/bad.rs:10: no-index: "));
+    assert!(stdout.contains("crates/badcrate/src/lib.rs:1: error-impl: "));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("9 violation(s)"), "stderr was: {stderr}");
+}
+
+#[test]
+fn clean_tree_exits_zero_silently() {
+    let out = run_on(&fixture("clean"));
+    assert_eq!(out.status.code(), Some(0));
+    assert!(out.stdout.is_empty());
+}
+
+#[test]
+fn unknown_flag_and_missing_root_exit_two() {
+    let out = run_lint(&["--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+
+    let out = run_on(Path::new("/nonexistent/ixp-lint-root"));
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = run_lint(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8(out.stdout).unwrap().contains("usage:"));
+}
+
+#[test]
+fn baseline_ratchet_tolerates_then_blocks() {
+    // Build a scratch tree with one grandfathered violation.
+    let root = std::env::temp_dir().join(format!("ixp-lint-ratchet-{}", std::process::id()));
+    let src_dir = root.join("crates/wire/src");
+    fs::create_dir_all(&src_dir).unwrap();
+    let one = "pub fn f(b: &[u8]) -> u8 {\n    b[0]\n}\n";
+    fs::write(src_dir.join("lib.rs"), one).unwrap();
+
+    // Without a baseline the violation fails the run.
+    assert_eq!(run_on(&root).status.code(), Some(1));
+
+    // --update-baseline grandfathers it; the next run is clean.
+    let out = run_lint(&["--root", root.to_str().unwrap(), "--update-baseline"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(root.join("lint-baseline.toml").is_file());
+    assert_eq!(run_on(&root).status.code(), Some(0));
+
+    // A second violation exceeds the ratchet and fails again, listing both.
+    let two = "pub fn f(b: &[u8]) -> u8 {\n    b[0]\n}\npub fn g(b: &[u8]) -> u8 {\n    b[1]\n}\n";
+    fs::write(src_dir.join("lib.rs"), two).unwrap();
+    let out = run_on(&root);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("crates/wire/src/lib.rs:2: no-index: "));
+    assert!(stdout.contains("crates/wire/src/lib.rs:5: no-index: "));
+
+    fs::remove_dir_all(&root).ok();
+}

@@ -1,0 +1,3 @@
+pub fn good(b: &[u8]) -> Option<u8> {
+    b.first().copied()
+}

@@ -1,0 +1,3 @@
+pub fn exactly_quarter(x: f64) -> bool {
+    x == 0.25
+}

@@ -1,0 +1,8 @@
+pub fn same_line(b: &[u8]) -> u8 {
+    b[0] // ixp-lint: allow(no-index) fixture: suppressed on its own line
+}
+
+pub fn next_line(b: &[u8]) -> u8 {
+    // ixp-lint: allow(no-index) fixture: suppresses the following line
+    b[1]
+}

@@ -1,0 +1,11 @@
+pub fn bad(b: &[u8], o: Option<u8>) -> u8 {
+    let x = o.unwrap();
+    let y = o.expect("nope");
+    if b.is_empty() {
+        panic!("empty");
+    }
+    if x > y {
+        unreachable!();
+    }
+    b[0]
+}

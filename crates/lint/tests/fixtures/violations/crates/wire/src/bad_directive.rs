@@ -1,0 +1,1 @@
+pub fn noop() {} // ixp-lint: allow(not-a-rule)

@@ -1,0 +1,7 @@
+#[cfg(test)]
+mod tests {
+    pub fn helper(b: &[u8]) -> u8 {
+        let first = b.first().copied().unwrap();
+        first + b[0]
+    }
+}

@@ -1,0 +1,64 @@
+//! Library-level tests over the committed fixture trees: exact
+//! file/line/rule assertions for one violation of every rule, plus the
+//! suppression and `#[cfg(test)]`-exemption cases.
+
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+#[test]
+fn violations_tree_reports_every_rule_exactly() {
+    let findings = ixp_lint::scan_workspace(&fixture("violations")).unwrap();
+    let got: Vec<(String, u32, &str)> =
+        findings.iter().map(|f| (f.file.clone(), f.line, f.rule)).collect();
+    let expected: Vec<(String, u32, &str)> = [
+        ("crates/badcrate/src/lib.rs", 1, "error-impl"),
+        ("crates/core/src/visibility.rs", 2, "no-float-eq"),
+        ("crates/sflow/src/accounting.rs", 2, "no-narrow-cast"),
+        ("crates/wire/src/bad.rs", 2, "no-unwrap"),
+        ("crates/wire/src/bad.rs", 3, "no-expect"),
+        ("crates/wire/src/bad.rs", 5, "no-panic"),
+        ("crates/wire/src/bad.rs", 8, "no-unreachable"),
+        ("crates/wire/src/bad.rs", 10, "no-index"),
+        ("crates/wire/src/bad_directive.rs", 1, "bad-directive"),
+    ]
+    .into_iter()
+    .map(|(f, l, r)| (f.to_string(), l, r))
+    .collect();
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn suppressed_and_test_exempt_files_are_silent() {
+    let findings = ixp_lint::scan_workspace(&fixture("violations")).unwrap();
+    assert!(
+        !findings.iter().any(|f| f.file.contains("allowed.rs")),
+        "inline allow directives must suppress: {findings:?}"
+    );
+    assert!(
+        !findings.iter().any(|f| f.file.contains("test_exempt.rs")),
+        "cfg(test) code must be exempt: {findings:?}"
+    );
+}
+
+#[test]
+fn clean_tree_is_clean() {
+    let findings = ixp_lint::scan_workspace(&fixture("clean")).unwrap();
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn render_matches_cli_format() {
+    let findings = ixp_lint::scan_workspace(&fixture("violations")).unwrap();
+    let unwrap_line = findings
+        .iter()
+        .find(|f| f.rule == "no-unwrap")
+        .map(|f| f.render())
+        .unwrap();
+    assert!(
+        unwrap_line.starts_with("crates/wire/src/bad.rs:2: no-unwrap: "),
+        "{unwrap_line}"
+    );
+}

@@ -538,17 +538,17 @@ impl<'a> Generator<'a> {
             activity = 0;
             for w in 35..=51i32 {
                 if w >= start && w < start + len && rng.gen::<f64>() < self.params.presence {
-                    activity |= 1 << (w - 35);
+                    activity |= 1u32 << (w - 35);
                 }
             }
             if activity == 0 {
                 // Guarantee at least one active week inside the study.
                 let w = rng.gen_range(35..=51);
-                activity |= 1 << (w - 35);
+                activity |= 1u32 << (w - 35);
             }
             // The global week-44 mini-dip.
             if rng.gen::<f64>() < self.params.sandy_dip {
-                activity &= !(1 << (44 - 35));
+                activity &= !(1u32 << (44 - 35));
             }
             start_week = Week((35 + activity.trailing_zeros() as i32).min(51) as u8);
         }
@@ -692,7 +692,7 @@ impl<'a> Generator<'a> {
                         // — which by definition evicts those servers from
                         // the every-week stable pool.
                         if matches!(service, ServiceTag::StormCloud(d) if d < 2) {
-                            server.activity &= !(1 << (44 - 35));
+                            server.activity &= !(1u32 << (44 - 35));
                             server.flags.0 &= !ServerFlags::STABLE;
                         }
                         // EC2 Ireland ramps up in weeks 49-51 (§4.2): one
@@ -841,7 +841,7 @@ impl<'a> Generator<'a> {
         }
         for server in self.servers.iter_mut() {
             if outage_ranges.iter().any(|p| p.contains(server.ip)) {
-                server.activity &= !(1 << (44 - 35));
+                server.activity &= !(1u32 << (44 - 35));
                 server.flags.0 &= !ServerFlags::STABLE;
             }
         }

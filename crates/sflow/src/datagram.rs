@@ -164,8 +164,10 @@ impl Datagram {
         if addr_type != AGENT_ADDR_IPV4 {
             return Err(DecodeError::UnsupportedAgentAddress(addr_type));
         }
-        let octets = r.opaque(4)?;
-        let agent_address = Ipv4Addr::new(octets[0], octets[1], octets[2], octets[3]);
+        let agent_address = match *r.opaque(4)? {
+            [a, b, c, d] => Ipv4Addr::new(a, b, c, d),
+            _ => return Err(DecodeError::Truncated),
+        };
         let sub_agent_id = r.u32()?;
         let sequence = r.u32()?;
         let uptime_ms = r.u32()?;
@@ -215,6 +217,7 @@ fn encode_flow_sample(out: &mut Vec<u8>, sample: &FlowSample) {
     xdr::put_opaque(out, &rec.header);
 
     let body_len = (out.len() - body_start) as u32;
+    // ixp-lint: allow(no-index) encoder backpatch; len_pos was reserved above
     out[len_pos..len_pos + 4].copy_from_slice(&body_len.to_be_bytes());
 }
 
@@ -260,6 +263,7 @@ fn encode_counter_sample(out: &mut Vec<u8>, c: &CounterSample) {
     out.put_u32(0); // promiscuous mode
 
     let body_len = (out.len() - body_start) as u32;
+    // ixp-lint: allow(no-index) encoder backpatch; len_pos was reserved above
     out[len_pos..len_pos + 4].copy_from_slice(&body_len.to_be_bytes());
 }
 

@@ -31,7 +31,7 @@ pub mod accounting;
 pub mod datagram;
 pub mod sampler;
 
-mod xdr;
+pub mod xdr;
 
 pub use accounting::TrafficEstimate;
 pub use datagram::{CounterSample, Datagram, DecodeError, FlowSample, RawPacketHeader, HEADER_PROTO_ETHERNET};

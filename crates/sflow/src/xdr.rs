@@ -43,12 +43,13 @@ impl<'a> Reader<'a> {
 
     /// Read one big-endian u32.
     pub fn u32(&mut self) -> Result<u32, DecodeError> {
-        if self.remaining() < 4 {
-            return Err(DecodeError::Truncated);
+        match self.data.get(self.pos..self.pos.wrapping_add(4)) {
+            Some(&[a, b, c, d]) => {
+                self.pos += 4;
+                Ok(u32::from_be_bytes([a, b, c, d]))
+            }
+            _ => Err(DecodeError::Truncated),
         }
-        let v = u32::from_be_bytes(self.data[self.pos..self.pos + 4].try_into().unwrap());
-        self.pos += 4;
-        Ok(v)
     }
 
     /// Read `len` opaque bytes plus their XDR padding.
@@ -57,7 +58,7 @@ impl<'a> Reader<'a> {
         if self.remaining() < padded {
             return Err(DecodeError::Truncated);
         }
-        let out = &self.data[self.pos..self.pos + len];
+        let out = self.data.get(self.pos..self.pos + len).ok_or(DecodeError::Truncated)?;
         self.pos += padded;
         Ok(out)
     }

@@ -9,6 +9,9 @@ use std::net::Ipv4Addr;
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Checksum {
     sum: u32,
+    /// Set once an odd-length slice has been folded in; feeding anything
+    /// after that point would mis-align every subsequent 16-bit word.
+    odd_fed: bool,
 }
 
 impl Checksum {
@@ -21,17 +24,28 @@ impl Checksum {
     /// which is correct for the *final* slice only; intermediate slices fed
     /// to one accumulator must be even-length (checked in debug builds).
     pub fn add(&mut self, data: &[u8]) {
+        debug_assert!(
+            !self.odd_fed,
+            "Checksum::add after an odd-length slice; only the final slice may be odd"
+        );
         let mut chunks = data.chunks_exact(2);
         for chunk in &mut chunks {
-            self.sum += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+            if let &[hi, lo] = chunk {
+                self.sum += u32::from(u16::from_be_bytes([hi, lo]));
+            }
         }
         if let [last] = chunks.remainder() {
             self.sum += u32::from(u16::from_be_bytes([*last, 0]));
+            self.odd_fed = true;
         }
     }
 
     /// Feed one big-endian u16.
     pub fn add_u16(&mut self, v: u16) {
+        debug_assert!(
+            !self.odd_fed,
+            "Checksum::add_u16 after an odd-length slice; only the final slice may be odd"
+        );
         self.sum += u32::from(v);
     }
 
@@ -104,5 +118,33 @@ mod tests {
     #[test]
     fn zero_buffer_is_all_ones() {
         assert_eq!(data(&[0u8; 8]), 0xffff);
+    }
+
+    #[test]
+    fn odd_final_slice_is_fine() {
+        let mut c = Checksum::new();
+        c.add(&[0x12, 0x34]);
+        c.add(&[0x56]);
+        let mut d = Checksum::new();
+        d.add(&[0x12, 0x34, 0x56, 0x00]);
+        assert_eq!(c.finish(), d.finish());
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "odd-length slice")]
+    fn odd_intermediate_slice_asserts_in_debug() {
+        let mut c = Checksum::new();
+        c.add(&[0xab]);
+        c.add(&[0x01, 0x02]);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "odd-length slice")]
+    fn add_u16_after_odd_slice_asserts_in_debug() {
+        let mut c = Checksum::new();
+        c.add(&[0xab]);
+        c.add_u16(0x0102);
     }
 }

@@ -115,7 +115,7 @@ impl<'a> Dissection<'a> {
         let src_mac = frame.src_addr();
         let dst_mac = frame.dst_addr();
         let network = match frame.ethertype() {
-            EtherType::Ipv4 => dissect_ipv4(&snippet[ethernet::HEADER_LEN..]),
+            EtherType::Ipv4 => dissect_ipv4(snippet.get(ethernet::HEADER_LEN..).unwrap_or(&[])),
             EtherType::Ipv6 => Network::Ipv6,
             EtherType::Arp => Network::Arp,
             EtherType::Unknown(raw) => Network::OtherEtherType(raw),
@@ -173,10 +173,10 @@ fn dissect_ipv4(l3: &[u8]) -> Network<'_> {
     };
     // Re-slice from `l3` directly so the payload borrows the input buffer,
     // not the temporary packet view.
-    let header_len = ((l3[0] & 0x0f) as usize) * 4;
+    let header_len = ((l3.first().copied().unwrap_or(0) & 0x0f) as usize) * 4;
     let claimed_end = (ipv4::HEADER_LEN + repr.payload_len + (header_len - ipv4::HEADER_LEN))
         .min(l3.len());
-    let l4 = &l3[header_len.min(claimed_end)..claimed_end];
+    let l4 = l3.get(header_len.min(claimed_end)..claimed_end).unwrap_or(&[]);
     let transport = match repr.protocol {
         Protocol::Tcp => match tcp::Packet::new_snippet(l4) {
             Ok(seg) => Transport::Tcp {
@@ -203,17 +203,14 @@ fn dissect_ipv4(l3: &[u8]) -> Network<'_> {
     };
     // Compute the payload slice after the transport header.
     let payload: &[u8] = match repr.protocol {
-        Protocol::Tcp => tcp::Packet::new_snippet(l4).map(|_| {
-            let hl = (l4[12] >> 4) as usize * 4;
-            &l4[hl.min(l4.len())..]
-        }).unwrap_or(&[]),
-        Protocol::Udp => {
-            if l4.len() >= udp::HEADER_LEN {
-                &l4[udp::HEADER_LEN..]
-            } else {
-                &[]
+        Protocol::Tcp => match tcp::Packet::new_snippet(l4) {
+            Ok(_) => {
+                let hl = (l4.get(12).copied().unwrap_or(0) >> 4) as usize * 4;
+                l4.get(hl..).unwrap_or(&[])
             }
-        }
+            Err(_) => &[],
+        },
+        Protocol::Udp => l4.get(udp::HEADER_LEN..).unwrap_or(&[]),
         _ => &[],
     };
     Network::Ipv4 { repr, transport, payload }

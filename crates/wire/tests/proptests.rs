@@ -116,6 +116,50 @@ proptest! {
         }
     }
 
+    /// The no-panic decoder contract, exercised the way the sampler does it:
+    /// a *structurally plausible* frame (valid Ethernet + IPv4 + TCP start),
+    /// corrupted at arbitrary positions and truncated to an arbitrary sFlow
+    /// snippet length ≤ 128, must never panic the dissector — the deep
+    /// header-length/claimed-length slicing paths all get hit this way.
+    #[test]
+    fn snippet_dissection_never_panics(
+        src in arb_ipv4_addr(),
+        dst in arb_ipv4_addr(),
+        proto in any::<u8>(),
+        payload_len in 0usize..200,
+        cap in 0usize..=128,
+        corrupt_at in any::<u32>(),
+        corrupt_val in any::<u8>(),
+    ) {
+        let ip_repr = ipv4::Repr {
+            src_addr: src, dst_addr: dst,
+            protocol: Protocol::from(proto), payload_len, ttl: 64,
+        };
+        let mut frame = vec![0u8; ethernet::HEADER_LEN + ip_repr.total_len()];
+        let eth_repr = ethernet::Repr {
+            src_addr: EthernetAddress::from_member_id(1),
+            dst_addr: EthernetAddress::from_member_id(2),
+            ethertype: EtherType::Ipv4,
+        };
+        eth_repr.emit(&mut ethernet::Frame::new_unchecked(&mut frame[..]));
+        ip_repr.emit(&mut ipv4::Packet::new_unchecked(
+            &mut frame[ethernet::HEADER_LEN..],
+        )).unwrap();
+        // Corrupt one byte anywhere (including the IHL nibble and the
+        // total-length field — the interesting slicing inputs).
+        let idx = corrupt_at as usize % frame.len();
+        frame[idx] ^= corrupt_val;
+        let snippet = &frame[..cap.min(frame.len())];
+        match Dissection::parse(snippet) {
+            Ok(d) => {
+                let _ = d.flow_key();
+                let _ = d.payload();
+                let _ = d.claimed_frame_len();
+            }
+            Err(_) => prop_assert!(snippet.len() < ethernet::HEADER_LEN),
+        }
+    }
+
     /// Flipping any single byte of a checksummed IPv4 header is detected
     /// (unless the flip is in the checksum-neutral padding, which a 20-byte
     /// option-less header does not have).

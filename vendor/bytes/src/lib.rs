@@ -1,0 +1,62 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Only the [`BufMut`] methods the sFlow XDR encoder calls are provided,
+//! implemented for `Vec<u8>`. All multi-byte writes are big-endian, matching
+//! the real crate's `put_u16`/`put_u32`/`put_u64`.
+
+/// A buffer that bytes can be appended to (subset of `bytes::BufMut`).
+pub trait BufMut {
+    /// Append a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append `cnt` copies of `val`.
+    fn put_bytes(&mut self, val: u8, cnt: usize);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a big-endian u16.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian u32.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian u64.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        self.resize(self.len() + cnt, val);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::BufMut;
+
+    #[test]
+    fn writes_are_big_endian_and_appended() {
+        let mut buf: Vec<u8> = vec![0xaa];
+        buf.put_u32(0x0102_0304);
+        buf.put_u64(0x0506_0708_090a_0b0c);
+        buf.put_slice(b"xy");
+        buf.put_bytes(0, 2);
+        assert_eq!(
+            buf,
+            [0xaa, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, b'x', b'y', 0, 0]
+        );
+    }
+}

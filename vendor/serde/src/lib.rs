@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` *names* in both the trait and the
+//! derive-macro namespaces, which is all the workspace needs: types derive
+//! the traits for API compatibility but nothing serializes. The derives are
+//! no-ops (see `vendor/serde_derive`), so the marker traits below are never
+//! implemented — any future code that actually bounds on them will fail to
+//! compile loudly rather than misbehave quietly.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

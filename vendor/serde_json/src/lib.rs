@@ -1,0 +1,6 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! The workspace declares this dependency but currently has no call sites.
+//! Nothing is provided on purpose: the first real use should either vendor a
+//! JSON implementation here or swap in the real crate when the registry is
+//! reachable.
