@@ -127,6 +127,7 @@ fn main() {
     e23_blindspots(&mut out, &analyzer, reference, &clusters, model);
     e24_baselines(&mut out, &analyzer, reference, &clusters, model);
     ablations(&mut out, &analyzer, reference, model);
+    faults_sweep(&mut out, &analyzer, reference, args.seed);
 
     eprintln!("all experiments done at {:.1}s", t0.elapsed().as_secs_f64());
     if let Some(path) = args.markdown {
@@ -678,4 +679,99 @@ fn ablations(
         bias.max_abs_rel_error
     );
     out.section("A4", "sampling-bias cross-check vs interface counters", body);
+}
+
+/// The robustness sweep (`--exp faults`): replay the reference week through
+/// seeded [`FaultPlan`]s of increasing hostility and check that the
+/// headline Table 1 statistics degrade gracefully while the collector's
+/// ingest-health accounting stays exact.
+fn faults_sweep(
+    out: &mut Out,
+    analyzer: &Analyzer<'_>,
+    reference: &ixp_core::WeeklyReport,
+    seed: u64,
+) {
+    use ixp_faults::{FaultConfig, FaultPlan, OutageWindow};
+
+    let week = Week::REFERENCE;
+    let clean = visibility::table1(&reference.snapshot);
+    let mut body = String::new();
+    let _ = writeln!(
+        body,
+        "  clean feed (week {}): {} peering IPs / {} prefixes / {} ASes",
+        week.0, clean.peering.ips, clean.peering.prefixes, clean.peering.ases
+    );
+
+    let hostile = FaultConfig {
+        seed,
+        drop: 0.05,
+        duplicate: 0.01,
+        reorder: 0.01,
+        truncate: 0.002,
+        corrupt: 0.002,
+        restarts: vec![(0, 500)],
+        counter_wrap: true,
+        ..FaultConfig::default()
+    };
+    let outage = FaultConfig {
+        seed,
+        outages: vec![OutageWindow { sub_agent: 0, from: 200, until: 400 }],
+        ..FaultConfig::default()
+    };
+    for (label, cfg) in [
+        ("loss 2.5 %", FaultConfig::loss(seed, 0.025)),
+        ("loss 5.0 %", FaultConfig::loss(seed, 0.05)),
+        ("loss 10 %", FaultConfig::loss(seed, 0.10)),
+        ("loss 5 % + restart + dup/reorder/corrupt + counter wrap", hostile),
+        ("agent outage (input 200..400)", outage),
+    ] {
+        let mut plan = FaultPlan::new(analyzer.feed(week), cfg);
+        let scan = analyzer.scan_week_from(week, plan.by_ref());
+        let stats = plan.stats();
+        let report = analyzer.report_from_scan(scan);
+        let t1 = visibility::table1(&report.snapshot);
+        let h = &report.health;
+        let drift = |a: u64, b: u64| 100.0 * (a as f64 - b as f64).abs() / b.max(1) as f64;
+        let _ = writeln!(body, "  — {label}");
+        let _ = writeln!(
+            body,
+            "    Table 1: {} IPs ({:+.2} % drift) / {} prefixes ({:+.2} %) / {} ASes ({:+.2} %)",
+            t1.peering.ips,
+            drift(t1.peering.ips, clean.peering.ips),
+            t1.peering.prefixes,
+            drift(t1.peering.prefixes, clean.peering.prefixes),
+            t1.peering.ases,
+            drift(t1.peering.ases, clean.peering.ases),
+        );
+        let _ = writeln!(
+            body,
+            "    injected: loss {:.2} %, {} dup, {} reordered, {} truncated, {} corrupted, {} restarts",
+            100.0 * stats.injected_loss_rate(),
+            stats.duplicated,
+            stats.reordered,
+            stats.truncated,
+            stats.corrupted,
+            stats.restarts_injected,
+        );
+        let _ = writeln!(
+            body,
+            "    measured: loss {:.2} % (estimate error {:+.2} pp), {} dups suppressed, {} restarts, {} decode errors, compensation x{:.4}",
+            h.loss_pct(),
+            h.loss_pct() - 100.0 * stats.injected_loss_rate(),
+            h.collector.duplicates,
+            h.collector.restarts,
+            h.collector.decode_errors.total(),
+            h.compensation_factor(),
+        );
+        let _ = writeln!(
+            body,
+            "    accounting invariant (ingested = accepted + duplicates + errors): {}",
+            if h.fully_accounted() { "holds" } else { "VIOLATED" }
+        );
+    }
+    let _ = writeln!(
+        body,
+        "  (the unique-AS/prefix counts are what the paper's Table 1 rests on: heavy-hitter\n   visibility survives sampling-level loss, only the one-packet tail erodes)"
+    );
+    out.section("FAULTS", "robustness — degraded-mode sweep over injected stream faults", body);
 }

@@ -6,15 +6,36 @@
 //! clients, dead hosts), real HTTPS servers present their chains — a
 //! calibrated share of which is broken in one of the classic ways — and
 //! role-flipping cloud IPs answer differently on every visit.
+//!
+//! ## Failure handling
+//!
+//! A real crawl campaign also sees *transient* failures — flapping hosts,
+//! congested paths — on top of the definitive outcomes above. Each fetch
+//! therefore runs under [`ixp_faults::retry_with_backoff`]: a deterministic
+//! per-`(ip, week, attempt, round)` coin models the transient timeout, and
+//! capped exponential backoff under a simulated deadline budget retries it.
+//! Hosts that answer nothing across a whole repeated-fetch campaign stop
+//! consuming the remaining attempt budget (persistent-failure cutoff) and
+//! are recorded in a shared [`Quarantine`] table. The table is
+//! observability only — it never gates results, so the parallel study
+//! weeks stay bit-for-bit deterministic regardless of scheduling order.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
+use ixp_faults::{retry_with_backoff, AttemptLog, Quarantine, RetryPolicy};
 use ixp_netmodel::{InternetModel, OrgKind, ServerFlags, Week};
 
 use crate::x509::{Certificate, Chain, KeyUsage, RootStore};
+
+/// Probability that one fetch round times out transiently (retryable).
+const TRANSIENT_DOWN_RATE: f64 = 0.12;
+
+/// Consecutive completely-unanswered attempts within one repeated-fetch
+/// campaign before the remaining attempts are skipped.
+const PERSISTENT_FAILURE_CUTOFF: u32 = 2;
 
 /// Result of one crawl attempt against an IP.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,6 +74,11 @@ struct CertProfile {
 pub struct CrawlSim {
     profiles: HashMap<u32, CertProfile>,
     seed: u64,
+    /// Retry budget applied to every fetch.
+    policy: RetryPolicy,
+    /// Hosts that persistently answered nothing (reporting only — never
+    /// consulted to gate results, so parallel weeks stay deterministic).
+    quarantine: Quarantine<u32>,
 }
 
 impl CrawlSim {
@@ -146,7 +172,12 @@ impl CrawlSim {
             }
             profiles.insert(u32::from(server.ip), CertProfile { chain: Chain { certs }, defect });
         }
-        CrawlSim { profiles, seed }
+        CrawlSim {
+            profiles,
+            seed,
+            policy: RetryPolicy::default(),
+            quarantine: Quarantine::new(PERSISTENT_FAILURE_CUTOFF),
+        }
     }
 
     /// Crawl an IP in a given week (attempt counter distinguishes repeated
@@ -205,8 +236,36 @@ impl CrawlSim {
         }
     }
 
+    /// One fetch under the retry budget: transient timeouts (a
+    /// deterministic per-round coin) are retried with capped exponential
+    /// backoff until the policy's attempt cap or simulated deadline runs
+    /// out. A definitive `NoAnswer` is *not* retried — the host answered
+    /// the probe with silence, which is an answer.
+    pub fn fetch_with_retry(
+        &self,
+        model: &InternetModel,
+        ip: Ipv4Addr,
+        week: Week,
+        attempt: u32,
+    ) -> (CrawlResult, AttemptLog) {
+        let (result, log) = retry_with_backoff(self.policy, |round| {
+            if self.transient_down(ip, week, attempt, round) {
+                None
+            } else {
+                Some(self.fetch(model, ip, week, attempt))
+            }
+        });
+        (result.unwrap_or(CrawlResult::NoAnswer), log)
+    }
+
     /// Crawl an IP several times across two weeks, as the paper does, and
     /// hand back the fetches for validation.
+    ///
+    /// Each fetch runs under the retry budget. An IP that answers nothing
+    /// on [`PERSISTENT_FAILURE_CUTOFF`] consecutive attempts is treated as
+    /// persistently down for this campaign: the remaining attempts are
+    /// skipped (they could only burn deadline budget on a dead host) and
+    /// the IP is recorded in the shared quarantine table.
     pub fn fetch_repeatedly(
         &self,
         model: &InternetModel,
@@ -215,15 +274,59 @@ impl CrawlSim {
         attempts: u32,
     ) -> Vec<(Chain, u8)> {
         let mut out = Vec::new();
+        let mut dead_streak = 0u32;
+        let mut answered = false;
         for a in 0..attempts {
+            if dead_streak >= PERSISTENT_FAILURE_CUTOFF {
+                break;
+            }
             // Alternate between this week and the previous one (clamped to
             // the start of the study).
             let w = Week(week.0.saturating_sub((a % 2) as u8).max(Week::FIRST.0));
-            if let CrawlResult::Tls(chain) = self.fetch(model, ip, w, a) {
-                out.push((chain, w.0));
+            match self.fetch_with_retry(model, ip, w, a) {
+                (CrawlResult::Tls(chain), _) => {
+                    answered = true;
+                    dead_streak = 0;
+                    out.push((chain, w.0));
+                }
+                (CrawlResult::NotTls, _) => {
+                    answered = true;
+                    dead_streak = 0;
+                }
+                (CrawlResult::NoAnswer, _) => dead_streak += 1,
             }
         }
+        let key = u32::from(ip);
+        if answered {
+            self.quarantine.record_success(&key);
+        } else {
+            self.quarantine.record_failure(key);
+        }
         out
+    }
+
+    /// Hosts currently flagged as persistently unresponsive by past
+    /// campaigns (an operational gauge, not a result filter).
+    pub fn quarantined_hosts(&self) -> usize {
+        self.quarantine.quarantined_count()
+    }
+
+    /// The retry budget fetches run under.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.policy
+    }
+
+    /// Deterministic transient-timeout coin for one fetch round.
+    fn transient_down(&self, ip: Ipv4Addr, week: Week, attempt: u32, round: u32) -> bool {
+        let mut x = u32::from(ip) ^ 0x7A11_5EED;
+        x = x.wrapping_mul(0x9E37_79B9).wrapping_add(u32::from(week.0));
+        x = x.wrapping_mul(0x85EB_CA6B).wrapping_add(attempt.wrapping_mul(1009));
+        x = x.wrapping_mul(0xC2B2_AE35).wrapping_add(round.wrapping_mul(9176));
+        x = x.wrapping_add(self.seed as u32);
+        x ^= x >> 16;
+        x = x.wrapping_mul(0x045D_9F3B);
+        x ^= x >> 16;
+        f64::from(x) / f64::from(u32::MAX) < TRANSIENT_DOWN_RATE
     }
 
     fn coin(&self, ip: Ipv4Addr, salt: u32, p: f64) -> bool {
@@ -354,6 +457,108 @@ mod tests {
                 sim.fetch(&model, s.ip, Week::REFERENCE, 1),
                 sim2.fetch(&model, s.ip, Week::REFERENCE, 1)
             );
+        }
+    }
+
+    #[test]
+    fn retry_rides_through_transient_timeouts() {
+        let (model, sim) = build();
+        let mut retried = 0u32;
+        let mut flipped = 0u32;
+        let mut total = 0u32;
+        for s in model.servers.servers() {
+            if !s.flags.has(ServerFlags::HTTPS) || !s.active_in(Week::REFERENCE) {
+                continue;
+            }
+            total += 1;
+            let plain = sim.fetch(&model, s.ip, Week::REFERENCE, 0);
+            let (with_retry, log) = sim.fetch_with_retry(&model, s.ip, Week::REFERENCE, 0);
+            assert!(log.attempts >= 1);
+            assert!(log.attempts <= sim.retry_policy().max_attempts);
+            if log.attempts > 1 {
+                retried += 1;
+            }
+            if with_retry != plain {
+                flipped += 1;
+            }
+        }
+        assert!(total > 0);
+        // The transient coin fires at ≈ 12 % per round, so a visible share
+        // of fetches needs at least one retry …
+        assert!(retried > 0, "no fetch ever needed a retry");
+        // … but the budget absorbs nearly all of them: losing all rounds is
+        // a ≈ 0.12⁴ event.
+        assert!(
+            f64::from(flipped) < f64::from(total) * 0.01,
+            "{flipped}/{total} fetches changed outcome under retry"
+        );
+    }
+
+    #[test]
+    fn retry_is_deterministic() {
+        let (model, sim) = build();
+        let sim2 = CrawlSim::build(&model, 41);
+        for s in model.servers.servers().iter().take(100) {
+            let (a, log_a) = sim.fetch_with_retry(&model, s.ip, Week::REFERENCE, 2);
+            let (b, log_b) = sim2.fetch_with_retry(&model, s.ip, Week::REFERENCE, 2);
+            assert_eq!(a, b);
+            assert_eq!(log_a.attempts, log_b.attempts);
+            assert_eq!(log_a.elapsed_ms, log_b.elapsed_ms);
+        }
+    }
+
+    #[test]
+    fn dead_hosts_are_cut_off_and_quarantined() {
+        let (model, sim) = build();
+        // A non-server IP that is silent (not the NotTls 10 %): every
+        // campaign against it exhausts the dead-streak cutoff.
+        let dead = (1..255)
+            .map(|o| Ipv4Addr::new(203, 0, 113, o))
+            .find(|ip| {
+                model.servers.by_ip(*ip).is_none()
+                    && sim.fetch(&model, *ip, Week::REFERENCE, 0) == CrawlResult::NoAnswer
+                    && sim.fetch(&model, *ip, Week::REFERENCE, 1) == CrawlResult::NoAnswer
+            })
+            .expect("no silent non-server IP found");
+        assert_eq!(sim.quarantined_hosts(), 0);
+        let fetches = sim.fetch_repeatedly(&model, dead, Week::REFERENCE, 8);
+        assert!(fetches.is_empty());
+        // One failed campaign starts the streak; the second crosses the
+        // cutoff and quarantines the host.
+        assert_eq!(sim.quarantined_hosts(), 0);
+        sim.fetch_repeatedly(&model, dead, Week::REFERENCE, 8);
+        assert_eq!(sim.quarantined_hosts(), 1);
+        // An answering host releases itself on its next campaign.
+        let alive = model
+            .servers
+            .servers()
+            .iter()
+            .find(|s| s.flags.has(ServerFlags::HTTPS) && s.active_in(Week::REFERENCE))
+            .unwrap();
+        let fetches = sim.fetch_repeatedly(&model, alive.ip, Week::REFERENCE, 3);
+        assert!(!fetches.is_empty());
+        assert_eq!(sim.quarantined_hosts(), 1, "answering host must not be quarantined");
+    }
+
+    #[test]
+    fn quarantine_never_gates_results() {
+        let (model, sim) = build();
+        let alive = model
+            .servers
+            .servers()
+            .iter()
+            .find(|s| s.flags.has(ServerFlags::HTTPS) && s.active_in(Week::REFERENCE))
+            .unwrap();
+        let first = sim.fetch_repeatedly(&model, alive.ip, Week::REFERENCE, 3);
+        // Poison the shared table for this key, then refetch: identical.
+        for _ in 0..10 {
+            sim.quarantine.record_failure(u32::from(alive.ip));
+        }
+        let second = sim.fetch_repeatedly(&model, alive.ip, Week::REFERENCE, 3);
+        assert_eq!(first.len(), second.len());
+        for ((c1, w1), (c2, w2)) in first.iter().zip(second.iter()) {
+            assert_eq!(w1, w2);
+            assert_eq!(c1.certs.len(), c2.certs.len());
         }
     }
 }

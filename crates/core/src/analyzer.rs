@@ -14,7 +14,7 @@ use ixp_netmodel::{InternetModel, Week};
 use ixp_traffic::{MixConfig, WeekStream};
 
 use crate::census::ServerCensus;
-use crate::scan::WeekScan;
+use crate::scan::{IngestHealth, WeekScan};
 use crate::snapshot::WeeklySnapshot;
 
 /// The result of analysing one week.
@@ -24,6 +24,8 @@ pub struct WeeklyReport {
     pub snapshot: WeeklySnapshot,
     /// The identified servers with their meta-data.
     pub census: ServerCensus,
+    /// Ingest-stream health (loss, duplicates, restarts, decode errors).
+    pub health: IngestHealth,
 }
 
 /// The full study: one report per week, in week order.
@@ -79,20 +81,35 @@ impl<'m> Analyzer<'m> {
 
     /// Scan one week's feed.
     pub fn scan_week(&self, week: Week) -> WeekScan {
+        self.scan_week_from(week, self.feed(week))
+    }
+
+    /// Scan a week from an arbitrary datagram stream — the hook for
+    /// perturbed feeds (`ixp-faults::FaultPlan`) and replay harnesses. The
+    /// collector inside [`WeekScan`] absorbs whatever the stream does.
+    pub fn scan_week_from<I>(&self, week: Week, feed: I) -> WeekScan
+    where
+        I: Iterator<Item = Vec<u8>>,
+    {
         let members = self.model.registry.members_at(week).len() as u32;
         let mut scan = WeekScan::new(week, members);
-        for datagram in self.feed(week) {
+        for datagram in feed {
             scan.ingest(&datagram);
         }
         scan
     }
 
-    /// Run the full weekly pipeline: scan → identify → aggregate.
-    pub fn run_week(&self, week: Week) -> WeeklyReport {
-        let scan = self.scan_week(week);
+    /// Finish the weekly pipeline from a completed scan: identify →
+    /// aggregate → health.
+    pub fn report_from_scan(&self, scan: WeekScan) -> WeeklyReport {
         let census = ServerCensus::identify(&scan, self.model, &self.dns, &self.crawl);
         let snapshot = WeeklySnapshot::build(&scan, &census, self.model);
-        WeeklyReport { snapshot, census }
+        WeeklyReport { snapshot, census, health: scan.ingest_health() }
+    }
+
+    /// Run the full weekly pipeline: scan → identify → aggregate.
+    pub fn run_week(&self, week: Week) -> WeeklyReport {
+        self.report_from_scan(self.scan_week(week))
     }
 
     /// Run all 17 weeks, processing up to `parallelism` weeks concurrently.
@@ -199,6 +216,21 @@ mod tests {
         assert_eq!(direct.census.len(), via_study.census.len());
         assert_eq!(direct.snapshot.peering.ips, via_study.snapshot.peering.ips);
         assert_eq!(direct.snapshot.filter.total(), via_study.snapshot.filter.total());
+    }
+
+    #[test]
+    fn clean_feed_reports_healthy_ingest() {
+        let report = testutil::reference();
+        let h = &report.health;
+        assert!(h.fully_accounted());
+        assert!(h.collector.datagrams > 0);
+        assert_eq!(h.collector.lost, 0);
+        assert_eq!(h.collector.duplicates, 0);
+        assert_eq!(h.collector.restarts, 0);
+        assert_eq!(h.collector.decode_errors.total(), 0);
+        assert_eq!(h.loss_pct(), 0.0);
+        assert_eq!(h.compensation_factor(), 1.0);
+        assert!(h.collector.sources > 0);
     }
 
     #[test]

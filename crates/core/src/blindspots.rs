@@ -11,12 +11,25 @@
 //!    unseen (paper: ≈ 600K found, > 360K already seen);
 //! 3. **Unseen classification** — bucket the servers the IXP never sees
 //!    (paper: private clusters and far-away servers are > 40 %).
+//!
+//! Both campaigns query through [`ResolverPool::resolve_with_retry`] with a
+//! campaign-scoped [`Quarantine`]: flapping resolvers are retried under a
+//! simulated deadline budget, dead slots fail over, and because each
+//! campaign owns its quarantine table and queries sequentially the whole
+//! run stays deterministic.
+//!
+//! [`ResolverPool::resolve_with_retry`]: ixp_dns::ResolverPool::resolve_with_retry
 
 use std::collections::{HashMap, HashSet};
 
+use ixp_faults::Quarantine;
 use ixp_netmodel::{AsRole, InternetModel, Region, Week};
 
 use crate::analyzer::{Analyzer, WeeklyReport};
+
+/// Consecutive budget-exhausting failures before a campaign stops asking a
+/// resolver slot.
+const RESOLVER_QUARANTINE_THRESHOLD: u32 = 2;
 
 /// Domain-recovery rates at the paper's three cut-offs.
 #[derive(Debug, Clone, Copy)]
@@ -83,6 +96,10 @@ pub struct ResolverCampaign {
     pub already_seen: usize,
     /// Unseen IPs per reason bucket.
     pub unseen: HashMap<UnseenReason, usize>,
+    /// Queries that failed over past at least one resolver slot.
+    pub failovers: usize,
+    /// Resolver slots the campaign quarantined as persistently dead.
+    pub quarantined_resolvers: usize,
 }
 
 impl ResolverCampaign {
@@ -129,29 +146,47 @@ pub fn resolver_campaign(
     let near = near_codes();
 
     // Which uncovered domains to chase: the paper uses the whole top-1M;
-    // we use the whole list.
+    // we use the whole list. One quarantine table for the whole campaign:
+    // slots that keep timing out stop consuming the deadline budget.
+    let quarantine = Quarantine::new(RESOLVER_QUARANTINE_THRESHOLD);
+    let usable: Vec<_> = analyzer.resolvers.usable().collect();
     let mut found: HashMap<u32, HashSet<u32>> = HashMap::new(); // ip -> answering-resolver AS dense idx
     let mut domains_queried = 0usize;
+    let mut failovers = 0usize;
     for (di, site) in model.popularity.iter().enumerate() {
         if observed.contains(site.domain.as_str()) {
             continue;
         }
         domains_queried += 1;
+        if usable.is_empty() {
+            continue;
+        }
         for k in 0..resolvers_per_domain {
             // Deterministic resolver pick, spread per domain.
             let resolver_idx = di.wrapping_mul(97).wrapping_add(k * 31);
-            let answers = analyzer.resolvers.resolve(model, &site.domain, resolver_idx, week);
-            if answers.is_empty() {
+            let out = analyzer.resolvers.resolve_with_retry(
+                model,
+                &site.domain,
+                resolver_idx,
+                week,
+                &quarantine,
+            );
+            if out.failovers > 0 {
+                failovers += 1;
+            }
+            // Attribution must follow the slot that actually answered —
+            // failover may have moved the query off `resolver_idx`.
+            let slot = match out.resolver {
+                Some(slot) => slot,
+                None => continue,
+            };
+            if out.answers.is_empty() {
                 continue;
             }
             // The answering resolver's AS (for the private-cluster test).
-            let usable: Vec<_> = analyzer.resolvers.usable().collect();
-            if usable.is_empty() {
-                continue;
-            }
-            let resolver = usable[resolver_idx % usable.len()];
+            let resolver = usable[slot % usable.len()];
             let resolver_as = model.registry.index_of(resolver.asn).unwrap_or(0);
-            for ip in answers {
+            for ip in out.answers {
                 found.entry(u32::from(ip)).or_default().insert(resolver_as);
             }
         }
@@ -192,7 +227,14 @@ pub fn resolver_campaign(
         *unseen.entry(reason).or_default() += 1;
     }
 
-    ResolverCampaign { domains_queried, found: found.len(), already_seen, unseen }
+    ResolverCampaign {
+        domains_queried,
+        found: found.len(),
+        already_seen,
+        unseen,
+        failovers,
+        quarantined_resolvers: quarantine.quarantined_count(),
+    }
 }
 
 /// The Akamai-style case study (§3.3): IXP view vs. active-measurement view
@@ -241,16 +283,29 @@ pub fn validate_footprint_case_study(
     // Active view: resolve the org's observed URIs through many resolvers.
     let mut active_ips = ixp_ips.clone();
     let mut active_ases = ixp_ases.clone();
-    let domains: HashSet<&str> = clusters
+    // Sorted: the campaign-scoped quarantine makes query order matter, so
+    // the iteration order must be deterministic.
+    let mut domains: Vec<&str> = clusters
         .assignments
         .iter()
         .enumerate()
         .filter(|(_, a)| matches!(a, Some((c, _)) if *c == cid))
         .flat_map(|(idx, _)| report.census.records[idx].uris.iter().map(String::as_str))
+        .collect::<HashSet<&str>>()
+        .into_iter()
         .collect();
+    domains.sort_unstable();
+    let quarantine = Quarantine::new(RESOLVER_QUARANTINE_THRESHOLD);
     for (di, domain) in domains.iter().enumerate() {
         for k in 0..resolvers_per_domain {
-            for ip in analyzer.resolvers.resolve(model, domain, di * 131 + k * 17, week) {
+            let out = analyzer.resolvers.resolve_with_retry(
+                model,
+                domain,
+                di * 131 + k * 17,
+                week,
+                &quarantine,
+            );
+            for ip in out.answers {
                 active_ips.insert(u32::from(ip));
                 if let Some(entry) = model.routing.resolve(ip) {
                     if let Some(as_idx) = model.registry.index_of(entry.origin) {

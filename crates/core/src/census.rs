@@ -100,7 +100,7 @@ pub struct ServerCensus {
     /// All identified server IPs.
     pub records: Vec<ServerRecord>,
     /// Index by IP.
-    pub by_ip: HashMap<u32, u32>,
+    pub by_ip: HashMap<u32, usize>,
     /// HTTPS funnel: candidates → responders → confirmed (paper: ≈ 1.5M →
     /// 500K → 250K).
     pub https_candidates: usize,
@@ -193,7 +193,7 @@ impl ServerCensus {
         let by_ip = records
             .iter()
             .enumerate()
-            .map(|(i, r)| (u32::from(r.ip), i as u32))
+            .map(|(i, r)| (u32::from(r.ip), i))
             .collect();
 
         let coverage = MetadataCoverage {
@@ -227,7 +227,7 @@ impl ServerCensus {
 
     /// Look up a record by IP.
     pub fn get(&self, ip: Ipv4Addr) -> Option<&ServerRecord> {
-        self.by_ip.get(&u32::from(ip)).map(|i| &self.records[*i as usize])
+        self.by_ip.get(&u32::from(ip)).map(|i| &self.records[*i])
     }
 
     /// Total estimated bytes of all identified servers.
@@ -312,7 +312,7 @@ mod tests {
     fn by_ip_index_is_exact() {
         let report = testutil::reference();
         for (i, r) in report.census.records.iter().enumerate() {
-            assert_eq!(report.census.by_ip[&u32::from(r.ip)], i as u32);
+            assert_eq!(report.census.by_ip[&u32::from(r.ip)], i);
             assert_eq!(report.census.get(r.ip).unwrap().ip, r.ip);
         }
         assert!(report.census.get(std::net::Ipv4Addr::new(0, 0, 0, 1)).is_none());

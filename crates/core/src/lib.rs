@@ -48,7 +48,7 @@ pub mod visibility;
 
 pub use analyzer::{Analyzer, StudyReport, WeeklyReport};
 pub use census::{ServerCensus, ServerRecord};
-pub use scan::{Category, FilterReport, WeekScan};
+pub use scan::{Category, FilterReport, IngestHealth, WeekScan};
 pub use snapshot::WeeklySnapshot;
 
 /// Shared, lazily built fixtures so the test suite constructs the tiny

@@ -125,6 +125,68 @@ pub fn render_fig3(report: &WeeklyReport, model: &InternetModel) -> String {
     out
 }
 
+/// Render the ingest-health section: what the collector saw of the stream
+/// (loss, duplicates, restarts, quarantined sources, per-kind decode
+/// errors) and whether the no-silent-discard invariant held.
+pub fn render_ingest_health(report: &WeeklyReport) -> String {
+    let h = &report.health;
+    let c = &h.collector;
+    let mut out = String::new();
+    let _ = writeln!(out, "Ingest health — collector accounting, {}", report.snapshot.week);
+    let _ = writeln!(out, "  {:<28} {:>12}", "datagrams ingested", thousands(c.datagrams));
+    let _ = writeln!(out, "  {:<28} {:>12}", "accepted", thousands(c.accepted));
+    let _ = writeln!(out, "  {:<28} {:>12}", "duplicates suppressed", thousands(c.duplicates));
+    let _ = writeln!(
+        out,
+        "  {:<28} {:>12}   ({:.2} % of expected stream)",
+        "estimated lost",
+        thousands(c.lost),
+        h.loss_pct()
+    );
+    let _ = writeln!(out, "  {:<28} {:>12}", "agent restarts detected", thousands(c.restarts));
+    let _ = writeln!(
+        out,
+        "  {:<28} {:>12}   ({} quarantined)",
+        "sources seen",
+        c.sources,
+        c.quarantined_sources
+    );
+    for (kind, n) in c.decode_errors.iter() {
+        if n > 0 {
+            let _ = writeln!(out, "  decode errors: {:<13} {:>12}", kind, thousands(n));
+        }
+    }
+    if c.decode_errors.total() == 0 {
+        let _ = writeln!(out, "  {:<28} {:>12}", "decode errors", 0);
+    }
+    if c.unattributed_errors > 0 {
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>12}",
+            "unattributed errors",
+            thousands(c.unattributed_errors)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  {:<28} {:>12}",
+        "undissectable samples",
+        thousands(h.undissectable_samples)
+    );
+    let _ = writeln!(
+        out,
+        "  {:<28} {:>12.4}",
+        "loss compensation factor",
+        h.compensation_factor()
+    );
+    let _ = writeln!(
+        out,
+        "  accounting invariant (ingested = accepted + duplicates + errors): {}",
+        if h.fully_accounted() { "holds" } else { "VIOLATED" }
+    );
+    out
+}
+
 /// Simple integer formatting with thousands separators for the harness.
 pub fn thousands(n: u64) -> String {
     let s = n.to_string();
@@ -155,6 +217,10 @@ mod tests {
         assert!(render_table3(&t3).contains("A(M)"));
         assert!(render_fig2(report).contains("top-34"));
         assert!(render_fig3(report, model).contains("unseen"));
+        let health = render_ingest_health(report);
+        assert!(health.contains("estimated lost"));
+        assert!(health.contains("accounting invariant"));
+        assert!(health.contains("holds"));
     }
 
     #[test]

@@ -10,7 +10,8 @@ use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 use ixp_netmodel::{MemberId, Week};
-use ixp_sflow::{Datagram, TrafficEstimate};
+use ixp_sflow::collector::{Collector, CollectorStats, Ingest};
+use ixp_sflow::{DecodeErrorCounts, TrafficEstimate};
 use ixp_wire::dissect::{Dissection, Network, Transport};
 use ixp_wire::EthernetAddress;
 
@@ -180,6 +181,44 @@ impl DomainTable {
     }
 }
 
+/// Ingest-stream health for one week: the collector's sequence accounting
+/// plus the scan's own sample-level dissection counter. This is what the
+/// `IngestHealth` section of the weekly report renders, and what the
+/// `repro --exp faults` sweep checks its accounting invariant against.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct IngestHealth {
+    /// Datagram-level accounting from the fault-tolerant collector.
+    pub collector: CollectorStats,
+    /// Samples inside accepted datagrams that could not be dissected.
+    pub undissectable_samples: u64,
+}
+
+impl IngestHealth {
+    /// Estimated datagram loss in percent of the expected stream.
+    pub fn loss_pct(&self) -> f64 {
+        100.0 * self.collector.loss_rate()
+    }
+
+    /// Multiplier that scales received-traffic estimates to the expected
+    /// full stream.
+    pub fn compensation_factor(&self) -> f64 {
+        self.collector.compensation_factor()
+    }
+
+    /// The no-silent-discard invariant: every ingested buffer is accepted,
+    /// a suppressed duplicate, or a counted decode error.
+    pub fn fully_accounted(&self) -> bool {
+        let c = &self.collector;
+        c.datagrams == c.accepted + c.duplicates + c.decode_errors.total()
+    }
+
+    /// A traffic estimate scaled up by the loss-compensation factor, so
+    /// degraded feeds still estimate the full stream.
+    pub fn compensated(&self, estimate: &TrafficEstimate) -> TrafficEstimate {
+        estimate.scaled(self.compensation_factor())
+    }
+}
+
 /// The result of scanning one week of sFlow.
 #[derive(Debug)]
 pub struct WeekScan {
@@ -193,6 +232,9 @@ pub struct WeekScan {
     pub domains: DomainTable,
     /// Samples that could not be dissected at all.
     pub undissectable: u64,
+    /// The fault-tolerant collector front-end: sequence accounting,
+    /// duplicate suppression, restart detection, per-kind decode errors.
+    collector: Collector,
     /// Number of member ports active this week (MACs above this id are not
     /// members yet and their frames are classified as non-member traffic).
     member_count: u32,
@@ -208,18 +250,21 @@ impl WeekScan {
             ips: HashMap::new(),
             domains: DomainTable::default(),
             undissectable: 0,
+            collector: Collector::new(),
             member_count,
         }
     }
 
-    /// Feed one encoded sFlow datagram.
+    /// Feed one encoded sFlow datagram through the fault-tolerant
+    /// collector: duplicates are suppressed, sequence gaps are accounted as
+    /// loss, and decode failures are counted by kind — never silently
+    /// dropped.
     pub fn ingest(&mut self, datagram_bytes: &[u8]) {
-        let dg = match Datagram::decode(datagram_bytes) {
-            Ok(dg) => dg,
-            Err(_) => {
-                self.undissectable += 1;
-                return;
-            }
+        let dg = match self.collector.ingest(datagram_bytes) {
+            Ingest::Accepted(dg) => dg,
+            // Both outcomes are already counted in the collector's stats;
+            // nothing vanishes.
+            Ingest::Duplicate | Ingest::Rejected(_) => return,
         };
         for sample in &dg.samples {
             self.ingest_sample(sample.sampling_rate, sample.record.frame_length, &sample.record.header);
@@ -349,6 +394,31 @@ impl WeekScan {
     /// Stats for one IP.
     pub fn stats(&self, ip: Ipv4Addr) -> Option<&IpStats> {
         self.ips.get(&u32::from(ip))
+    }
+
+    /// Datagram decode failures by kind (the once-silent error path).
+    pub fn decode_errors(&self) -> DecodeErrorCounts {
+        self.collector.stats().decode_errors
+    }
+
+    /// The collector front-end, for sequence/counter introspection.
+    pub fn collector(&self) -> &Collector {
+        &self.collector
+    }
+
+    /// Ingest-stream health: collector accounting plus the sample-level
+    /// dissection counter.
+    pub fn ingest_health(&self) -> IngestHealth {
+        IngestHealth {
+            collector: self.collector.stats(),
+            undissectable_samples: self.undissectable,
+        }
+    }
+
+    /// A traffic estimate scaled up by the collector's loss-compensation
+    /// factor, so degraded feeds still estimate the full stream.
+    pub fn compensated(&self, estimate: &TrafficEstimate) -> TrafficEstimate {
+        self.collector.compensate(estimate)
     }
 }
 
@@ -495,9 +565,18 @@ mod tests {
     #[test]
     fn undissectable_bytes_are_counted_not_fatal() {
         let mut scan = WeekScan::new(Week::REFERENCE, 10);
+        // A datagram-level decode failure lands in the per-kind error
+        // counters, not the sample-level dissection counter.
         scan.ingest(&[1, 2, 3]);
+        assert_eq!(scan.decode_errors().total(), 1);
+        assert_eq!(scan.decode_errors().truncated, 1);
+        // A sample-level dissection failure is counted separately.
         scan.ingest_sample(1, 10, &[0xff; 4]);
-        assert_eq!(scan.undissectable, 2);
+        assert_eq!(scan.undissectable, 1);
+        let health = scan.ingest_health();
+        assert!(health.fully_accounted());
+        assert_eq!(health.undissectable_samples, 1);
+        assert_eq!(health.collector.datagrams, 1);
     }
 
     #[test]

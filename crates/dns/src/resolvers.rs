@@ -11,13 +11,30 @@
 //! answer behaviour of CDNs: a resolver inside an AS that hosts an
 //! organization's (possibly private) cluster is answered with that cluster;
 //! everyone else gets servers from the org's general footprint.
+//!
+//! ## Failure handling
+//!
+//! Open resolvers flap. [`ResolverPool::resolve_with_retry`] wraps the pure
+//! [`ResolverPool::resolve`] in a retry-with-backoff budget (a deterministic
+//! per-`(slot, domain, week, round)` coin models the timeout) and fails
+//! over to the next usable slot when one exhausts its budget. The caller
+//! supplies a *campaign-scoped* [`Quarantine`] so dead slots stop burning
+//! deadline budget within that campaign; because the campaign owns the
+//! table and runs sequentially, gating on it stays deterministic.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
+use ixp_faults::{retry_with_backoff, AttemptLog, Quarantine, RetryPolicy};
 use ixp_netmodel::{Asn, InternetModel, OrgId, Week};
+
+/// Probability that one query round times out transiently (retryable).
+const RESOLVER_TIMEOUT_RATE: f64 = 0.10;
+
+/// How many alternative resolver slots a query may fail over to.
+const MAX_FAILOVERS: usize = 3;
 
 /// One recursive resolver candidate.
 #[derive(Debug, Clone)]
@@ -41,6 +58,22 @@ impl Resolver {
     }
 }
 
+/// The result of one query campaign step under the retry/failover budget.
+#[derive(Debug, Clone, Default)]
+pub struct ResolveOutcome {
+    /// The A records handed out (empty when nothing answered, or the
+    /// domain is unknown — an *answer*, not a failure).
+    pub answers: Vec<Ipv4Addr>,
+    /// The usable-pool slot that actually answered, if any. Callers must
+    /// attribute answers to this resolver, not the slot they asked for —
+    /// failover may have moved the query.
+    pub resolver: Option<usize>,
+    /// Aggregate attempt accounting across all slots tried.
+    pub log: AttemptLog,
+    /// Slots skipped (quarantined) or abandoned (budget exhausted).
+    pub failovers: u32,
+}
+
 /// The vetted resolver pool plus the org/AS server indexes needed to answer
 /// region-aware queries.
 #[derive(Debug)]
@@ -53,6 +86,10 @@ pub struct ResolverPool {
     org_as_servers: HashMap<(OrgId, Asn), Vec<u32>>,
     /// domain -> owning org.
     domain_owner: HashMap<String, OrgId>,
+    /// Retry budget applied to every query.
+    policy: RetryPolicy,
+    /// Seed for the deterministic transient-timeout coin.
+    seed: u64,
 }
 
 impl ResolverPool {
@@ -107,7 +144,15 @@ impl ResolverPool {
                 domain_owner.insert(d.clone(), org.id);
             }
         }
-        ResolverPool { candidates, usable, org_servers, org_as_servers, domain_owner }
+        ResolverPool {
+            candidates,
+            usable,
+            org_servers,
+            org_as_servers,
+            domain_owner,
+            policy: RetryPolicy::default(),
+            seed,
+        }
     }
 
     /// All candidates (pre-vetting).
@@ -184,6 +229,81 @@ impl ResolverPool {
             .get(&org)
             .map(|pool| answer_from(pool, k))
             .unwrap_or_default()
+    }
+
+    /// The retry budget queries run under.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.policy
+    }
+
+    /// Resolve under the retry/failover budget.
+    ///
+    /// The query starts at usable slot `k`. Transient timeouts (the
+    /// deterministic coin) retry with capped backoff under the policy's
+    /// simulated deadline; a slot that exhausts its budget records a
+    /// failure in `quarantine` and the query fails over to the next slot
+    /// (up to [`MAX_FAILOVERS`]). Slots the campaign has already
+    /// quarantined are skipped without burning any budget. `quarantine`
+    /// must be owned by the campaign: resolution *is* gated on it, which
+    /// is only deterministic because the campaign queries sequentially.
+    pub fn resolve_with_retry(
+        &self,
+        model: &InternetModel,
+        domain: &str,
+        k: usize,
+        week: Week,
+        quarantine: &Quarantine<usize>,
+    ) -> ResolveOutcome {
+        let mut outcome = ResolveOutcome::default();
+        if self.usable.is_empty() {
+            return outcome;
+        }
+        let n = self.usable.len();
+        for f in 0..=MAX_FAILOVERS {
+            let slot = (k + f) % n;
+            if quarantine.is_quarantined(&slot) {
+                outcome.failovers += 1;
+                continue;
+            }
+            let (result, log) = retry_with_backoff(self.policy, |round| {
+                if self.resolver_timeout(slot, domain, week, round) {
+                    None
+                } else {
+                    Some(self.resolve(model, domain, slot, week))
+                }
+            });
+            outcome.log.attempts += log.attempts;
+            outcome.log.elapsed_ms += log.elapsed_ms;
+            outcome.log.exhausted_deadline |= log.exhausted_deadline;
+            match result {
+                Some(answers) => {
+                    quarantine.record_success(&slot);
+                    outcome.answers = answers;
+                    outcome.resolver = Some(slot);
+                    return outcome;
+                }
+                None => {
+                    quarantine.record_failure(slot);
+                    outcome.failovers += 1;
+                }
+            }
+        }
+        outcome
+    }
+
+    /// Deterministic transient-timeout coin for one query round.
+    fn resolver_timeout(&self, slot: usize, domain: &str, week: Week, round: u32) -> bool {
+        let mut x = 0xCBF2_9CE4u32 ^ (slot as u32).wrapping_mul(0x9E37_79B9);
+        for b in domain.bytes() {
+            x = (x ^ u32::from(b)).wrapping_mul(0x0100_0193);
+        }
+        x = x.wrapping_mul(0x85EB_CA6B).wrapping_add(u32::from(week.0));
+        x = x.wrapping_mul(0xC2B2_AE35).wrapping_add(round.wrapping_mul(9176));
+        x = x.wrapping_add(self.seed as u32);
+        x ^= x >> 16;
+        x = x.wrapping_mul(0x045D_9F3B);
+        x ^= x >> 16;
+        f64::from(x) / f64::from(u32::MAX) < RESOLVER_TIMEOUT_RATE
     }
 }
 
@@ -295,5 +415,75 @@ mod tests {
         let ra = a.resolve(&model, "www.akamai.example", 5, Week::REFERENCE);
         let rb = b.resolve(&model, "www.akamai.example", 5, Week::REFERENCE);
         assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn retry_answers_match_some_pure_slot() {
+        let (model, pool) = build();
+        let org = model.orgs.iter().find(|o| !o.domains.is_empty()).unwrap();
+        let domain = &org.domains[0];
+        let q = Quarantine::new(2);
+        let mut answered = 0;
+        for k in 0..50 {
+            let out = pool.resolve_with_retry(&model, domain, k, Week::REFERENCE, &q);
+            let slot = match out.resolver {
+                Some(slot) => slot,
+                None => continue,
+            };
+            answered += 1;
+            // Failover moves at most MAX_FAILOVERS slots forward.
+            let n = pool.usable_count();
+            let dist = (slot + n - k % n) % n;
+            assert!(dist <= 3, "slot {slot} is {dist} past requested {k}");
+            // The answer is exactly what the pure resolver at that slot says.
+            assert_eq!(out.answers, pool.resolve(&model, domain, slot, Week::REFERENCE));
+            assert!(out.log.attempts >= 1);
+        }
+        assert!(answered > 45, "only {answered}/50 queries answered");
+    }
+
+    #[test]
+    fn retry_campaign_is_deterministic() {
+        let (model, pool) = build();
+        let org = model.orgs.iter().find(|o| !o.domains.is_empty()).unwrap();
+        let domain = &org.domains[0];
+        let run = || {
+            let q = Quarantine::new(2);
+            (0..40)
+                .map(|k| {
+                    let out = pool.resolve_with_retry(&model, domain, k, Week::REFERENCE, &q);
+                    (out.answers, out.resolver, out.failovers, out.log.attempts)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn quarantined_slots_are_skipped_without_budget() {
+        let (model, pool) = build();
+        let org = model.orgs.iter().find(|o| !o.domains.is_empty()).unwrap();
+        let domain = &org.domains[0];
+        let q = Quarantine::new(1);
+        let n = pool.usable_count();
+        // Quarantine the requested slot up front: the query must fail over
+        // past it and still answer, spending zero attempts on it.
+        q.record_failure(7 % n);
+        let out = pool.resolve_with_retry(&model, domain, 7, Week::REFERENCE, &q);
+        assert!(out.failovers >= 1);
+        if let Some(slot) = out.resolver {
+            assert_ne!(slot, 7 % n);
+        }
+    }
+
+    #[test]
+    fn unknown_domain_is_an_answer_not_a_failure() {
+        let (model, pool) = build();
+        let q = Quarantine::new(2);
+        let out =
+            pool.resolve_with_retry(&model, "no-such-domain.example", 0, Week::REFERENCE, &q);
+        // The resolver responded (with an empty answer) — no failover spiral.
+        assert!(out.answers.is_empty());
+        assert!(out.resolver.is_some());
     }
 }

@@ -6,11 +6,11 @@
 //!
 //! | rule            | family | scope                                         |
 //! |-----------------|--------|-----------------------------------------------|
-//! | `no-unwrap`     | L1     | parser crates (`ixp-wire`, `ixp-sflow`)       |
-//! | `no-expect`     | L1     | parser crates                                 |
-//! | `no-panic`      | L1     | parser crates (`panic!`/`todo!`/`unimplemented!`) |
-//! | `no-unreachable`| L1     | parser crates                                 |
-//! | `no-index`      | L1     | parser crates (`[i]` indexing / slicing)      |
+//! | `no-unwrap`     | L1     | stream-facing crates (`ixp-wire`, `ixp-sflow`, `ixp-faults`) |
+//! | `no-expect`     | L1     | stream-facing crates                          |
+//! | `no-panic`      | L1     | stream-facing crates (`panic!`/`todo!`/`unimplemented!`) |
+//! | `no-unreachable`| L1     | stream-facing crates                          |
+//! | `no-index`      | L1     | stream-facing crates (`[i]` indexing / slicing) |
 //! | `no-narrow-cast`| L2     | `sflow::accounting`, `core::census`           |
 //! | `no-float-eq`   | L3     | `core::{longitudinal, visibility, baseline}`  |
 //! | `error-impl`    | L4     | every crate `src/` tree                       |
@@ -55,9 +55,13 @@ pub fn resolve_rule(name: &str) -> Option<Vec<&'static str>> {
     }
 }
 
-/// L1 scope: source trees of the two packet-parsing crates.
+/// L1 scope: source trees of the crates that face the raw datagram stream —
+/// the two packet parsers plus the fault injector (which rewrites encoded
+/// datagrams and must survive anything it is fed, including its own output).
 fn l1_applies(path: &str) -> bool {
-    path.starts_with("crates/wire/src/") || path.starts_with("crates/sflow/src/")
+    path.starts_with("crates/wire/src/")
+        || path.starts_with("crates/sflow/src/")
+        || path.starts_with("crates/faults/src/")
 }
 
 /// L2 scope: modules that aggregate counters and must not silently truncate.
@@ -378,6 +382,13 @@ fn f(b: &[u8]) {
         assert!(run("crates/core/src/x.rs", src).is_empty());
         let test_src = "#[cfg(test)]\nmod tests { fn t(b: &[u8]) { b[0]; b.first().unwrap(); } }";
         assert!(run("crates/wire/src/x.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn l1_covers_the_fault_injector() {
+        let src = "fn f(b: &[u8]) { b.first().unwrap(); let _ = b[0]; }";
+        let got = run("crates/faults/src/plan.rs", src);
+        assert_eq!(got, vec![(1, "no-unwrap"), (1, "no-index")]);
     }
 
     #[test]

@@ -22,18 +22,24 @@
 //!   truncation; and
 //! * [`accounting`] — scaling sampled bytes/frames back up to traffic
 //!   estimates (1 sample ≙ N frames), which is how every traffic share in
-//!   the paper is computed.
+//!   the paper is computed; and
+//! * [`collector`] — the fault-tolerant collector front-end: per-source
+//!   sequence accounting (loss estimation, duplicate suppression, restart
+//!   detection), counter-wrap-safe deltas, and loss compensation, because
+//!   sFlow rides UDP and a 17-week campaign will see every failure mode.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod accounting;
+pub mod collector;
 pub mod datagram;
 pub mod sampler;
 
 pub mod xdr;
 
 pub use accounting::TrafficEstimate;
+pub use collector::{Collector, CollectorStats, CounterTotals, DecodeErrorCounts, Ingest, SourceKey, SourceStats};
 pub use datagram::{CounterSample, Datagram, DecodeError, FlowSample, RawPacketHeader, HEADER_PROTO_ETHERNET};
 pub use sampler::{Sampler, SamplerConfig, SNIPPET_LEN};
 

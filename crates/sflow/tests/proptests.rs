@@ -1,10 +1,11 @@
-//! Property tests: datagram round-trip and decoder robustness.
+//! Property tests: datagram round-trip, decoder robustness, and collector
+//! sequence accounting.
 
 use std::net::Ipv4Addr;
 
 use proptest::prelude::*;
 
-use ixp_sflow::{Datagram, FlowSample, RawPacketHeader, HEADER_PROTO_ETHERNET};
+use ixp_sflow::{Collector, Datagram, FlowSample, Ingest, RawPacketHeader, HEADER_PROTO_ETHERNET};
 
 fn arb_sample() -> impl Strategy<Value = FlowSample> {
     (
@@ -81,5 +82,106 @@ proptest! {
         let i = idx.index(bytes.len());
         bytes[i] ^= flip;
         let _ = Datagram::decode(&bytes);
+    }
+
+    /// The collector must never panic on adversarial input — arbitrary
+    /// byte blobs interleaved with valid, corrupted, and truncated
+    /// datagrams — and its accounting invariant must always hold:
+    /// every ingested buffer is accepted, a duplicate, or a counted error.
+    #[test]
+    fn collector_never_panics_and_never_loses_count(
+        dgs in proptest::collection::vec(arb_datagram(), 0..20),
+        blobs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..256), 0..10),
+        corrupt_idx in any::<proptest::sample::Index>(),
+        flip in 1u8..=255,
+    ) {
+        let mut c = Collector::new();
+        let mut ingested = 0u64;
+        for (i, dg) in dgs.iter().enumerate() {
+            let mut bytes = dg.encode();
+            if i % 3 == 2 && !bytes.is_empty() {
+                let j = corrupt_idx.index(bytes.len());
+                bytes[j] ^= flip;
+            }
+            let _ = c.ingest(&bytes);
+            ingested += 1;
+        }
+        for blob in &blobs {
+            let _ = c.ingest(blob);
+            ingested += 1;
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.datagrams, ingested);
+        prop_assert_eq!(s.datagrams, s.accepted + s.duplicates + s.decode_errors.total());
+        prop_assert!(s.loss_rate() >= 0.0 && s.loss_rate() <= 1.0);
+        prop_assert!(s.compensation_factor() >= 1.0);
+    }
+
+    /// Sequence accounting is correct across the u32 wraparound: an
+    /// in-order stream that crosses u32::MAX with `gap - 1` datagrams
+    /// missing per jump reports exactly the skipped count as lost and
+    /// never misreads the wrap as a restart.
+    #[test]
+    fn collector_wraparound_accounting(
+        start_back in 0u32..40,
+        gaps in proptest::collection::vec(1u32..5, 1..30),
+    ) {
+        let agent = Ipv4Addr::new(192, 0, 2, 1);
+        let mut c = Collector::new();
+        let mut seq = u32::MAX - start_back;
+        let mut expect_lost = 0u64;
+        let mut expect_accepted = 0u64;
+        let mk = |seq: u32| Datagram {
+            agent_address: agent,
+            sub_agent_id: 0,
+            sequence: seq,
+            uptime_ms: 1_000,
+            samples: vec![],
+            counters: vec![],
+        }.encode();
+        prop_assert!(matches!(c.ingest(&mk(seq)), Ingest::Accepted(_)));
+        expect_accepted += 1;
+        for gap in gaps {
+            seq = seq.wrapping_add(gap);
+            expect_lost += u64::from(gap - 1);
+            prop_assert!(matches!(c.ingest(&mk(seq)), Ingest::Accepted(_)));
+            expect_accepted += 1;
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.accepted, expect_accepted);
+        prop_assert_eq!(s.lost, expect_lost);
+        prop_assert_eq!(s.restarts, 0);
+        prop_assert_eq!(s.duplicates, 0);
+    }
+
+    /// Replaying any stream a second time yields only duplicates within
+    /// the reorder window; accepted count never exceeds distinct
+    /// sequence numbers.
+    #[test]
+    fn collector_replay_is_all_duplicates(seqs in proptest::collection::vec(0u32..64, 1..40)) {
+        let agent = Ipv4Addr::new(192, 0, 2, 2);
+        let mk = |seq: u32| Datagram {
+            agent_address: agent,
+            sub_agent_id: 0,
+            sequence: seq,
+            uptime_ms: 1_000,
+            samples: vec![],
+            counters: vec![],
+        }.encode();
+        let mut c = Collector::new();
+        for &s in &seqs {
+            let _ = c.ingest(&mk(s));
+        }
+        let first = c.stats();
+        // All sequences live within a 64-wide band < the 128 reorder
+        // window, so a full replay must be suppressed entirely.
+        for &s in &seqs {
+            prop_assert_eq!(c.ingest(&mk(s)), Ingest::Duplicate);
+        }
+        let second = c.stats();
+        prop_assert_eq!(second.accepted, first.accepted);
+        prop_assert_eq!(second.duplicates, first.duplicates + seqs.len() as u64);
+        let distinct: std::collections::HashSet<u32> = seqs.iter().copied().collect();
+        prop_assert!(first.accepted <= distinct.len() as u64);
     }
 }

@@ -16,6 +16,9 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo test -q --test fault_tolerance (degraded-mode acceptance)"
+cargo test -q --test fault_tolerance
+
 echo "==> cargo run -p ixp-lint"
 cargo run -q -p ixp-lint
 
