@@ -8,7 +8,7 @@
 //! comparison over a week's feed: for every member port, the flow-sample
 //! estimate of sourced octets vs. the port's own `if_in_octets`.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ixp_netmodel::Week;
 use ixp_sflow::Datagram;
@@ -32,8 +32,8 @@ pub struct BiasReport {
 
 /// Compare flow-sample estimates against interface counters for one week.
 pub fn sampling_bias_check(analyzer: &Analyzer<'_>, week: Week) -> BiasReport {
-    let mut estimates: HashMap<u32, u64> = HashMap::new();
-    let mut truth: HashMap<u32, u64> = HashMap::new();
+    let mut estimates: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut truth: BTreeMap<u32, u64> = BTreeMap::new();
     for bytes in analyzer.feed(week) {
         let Ok(dg) = Datagram::decode(&bytes) else { continue };
         for sample in &dg.samples {

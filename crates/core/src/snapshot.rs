@@ -6,7 +6,7 @@
 //! (RouteViews/GeoLite stand-in), the member directory, the AS graph, and
 //! published range lists. Ground truth is never consulted here.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ixp_netmodel::{
     CountryId, InternetModel, Locality, MemberId, Region, Week,
@@ -127,7 +127,7 @@ pub struct WeeklySnapshot {
     /// Multi-purpose server count.
     pub multi_port: usize,
     /// Published-range tracking: label -> (server count, bytes).
-    pub range_tracking: HashMap<String, (usize, u64)>,
+    pub range_tracking: BTreeMap<String, (usize, u64)>,
     /// Per-reseller-member identified-server counts behind that member.
     pub reseller_servers: Vec<(MemberId, usize)>,
     /// Peering IPs that did not resolve in the routing snapshot.
@@ -271,7 +271,7 @@ impl WeeklySnapshot {
         }
 
         // Published-range tracking (EC2/StormCloud experiments, §4.2).
-        let mut range_tracking: HashMap<String, (usize, u64)> = HashMap::new();
+        let mut range_tracking: BTreeMap<String, (usize, u64)> = BTreeMap::new();
         let ranges = model.servers.published_ranges();
         for record in &census.records {
             for r in ranges {

@@ -19,7 +19,7 @@
 //! configuration the plan is the identity: every input byte vector passes
 //! through unchanged, in order.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use ixp_sflow::Datagram;
 use rand::rngs::SmallRng;
@@ -133,7 +133,7 @@ pub struct FaultPlan<I> {
     /// A reordered datagram waiting out its delay (datagram, remaining).
     held: Option<(Vec<u8>, u8)>,
     /// Per-sub-agent sequence offset applied after an injected restart.
-    renumber: HashMap<u32, u32>,
+    renumber: BTreeMap<u32, u32>,
     stats: FaultStats,
 }
 
@@ -148,7 +148,7 @@ impl<I: Iterator<Item = Vec<u8>>> FaultPlan<I> {
             idx: 0,
             ready: VecDeque::new(),
             held: None,
-            renumber: HashMap::new(),
+            renumber: BTreeMap::new(),
             stats: FaultStats::default(),
         }
     }

@@ -6,8 +6,7 @@
 //! threshold resets the streak. The table is internally locked so the
 //! parallel study weeks can share one instance.
 
-use std::collections::HashMap;
-use std::hash::Hash;
+use std::collections::BTreeMap;
 
 use parking_lot::Mutex;
 
@@ -21,13 +20,13 @@ struct Streak {
 #[derive(Debug)]
 pub struct Quarantine<K> {
     threshold: u32,
-    table: Mutex<HashMap<K, Streak>>,
+    table: Mutex<BTreeMap<K, Streak>>,
 }
 
-impl<K: Eq + Hash + Clone> Quarantine<K> {
+impl<K: Ord + Clone> Quarantine<K> {
     /// Quarantine after `threshold` consecutive failures (min 1).
     pub fn new(threshold: u32) -> Quarantine<K> {
-        Quarantine { threshold: threshold.max(1), table: Mutex::new(HashMap::new()) }
+        Quarantine { threshold: threshold.max(1), table: Mutex::new(BTreeMap::new()) }
     }
 
     /// Record a failure; returns true when this failure crossed the

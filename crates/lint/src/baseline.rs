@@ -14,6 +14,7 @@
 //! file = "crates/core/src/census.rs"
 //! rule = "no-narrow-cast"
 //! count = 2
+//! reason = "pre-existing; tracked in ROADMAP"   # optional
 //! ```
 
 use std::collections::BTreeMap;
@@ -30,6 +31,8 @@ pub struct Entry {
     pub rule: String,
     /// Number of tolerated violations.
     pub count: usize,
+    /// Optional human justification for keeping the entry.
+    pub reason: Option<String>,
 }
 
 /// A parsed baseline file.
@@ -66,7 +69,8 @@ pub fn parse(text: &str) -> Result<Baseline, String> {
             if let Some(e) = current.take() {
                 finish_entry(e, lineno, &mut baseline)?;
             }
-            current = Some(Entry { file: String::new(), rule: String::new(), count: 0 });
+            current =
+                Some(Entry { file: String::new(), rule: String::new(), count: 0, reason: None });
             continue;
         }
         let Some((key, value)) = line.split_once('=') else {
@@ -85,6 +89,7 @@ pub fn parse(text: &str) -> Result<Baseline, String> {
                     format!("baseline line {lineno}: count must be an integer")
                 })?;
             }
+            "reason" => entry.reason = Some(unquote(value, lineno)?),
             other => {
                 return Err(format!("baseline line {lineno}: unknown key `{other}`"));
             }
@@ -222,6 +227,17 @@ mod tests {
         assert!(parse("[[entry]]\nfile = \"a\"\nrule = \"r\"\ncount = q\n")
             .unwrap_err()
             .contains("integer"));
+    }
+
+    #[test]
+    fn reason_key_is_accepted_and_optional() {
+        let text =
+            "[[entry]]\nfile = \"a.rs\"\nrule = \"no-unwrap\"\ncount = 1\nreason = \"legacy\"\n";
+        let b = parse(text).unwrap();
+        assert_eq!(b.entries[0].reason.as_deref(), Some("legacy"));
+        assert!(parse("[[entry]]\nfile = \"a\"\nrule = \"r\"\ncount = 1\nreason = bare\n")
+            .unwrap_err()
+            .contains("quoted"));
     }
 
     #[test]

@@ -39,13 +39,15 @@ pub enum Kind {
     Punct(char),
 }
 
-/// One token with its 1-based source line.
+/// One token with its 1-based source line and column.
 #[derive(Debug, Clone)]
 pub struct Token {
     /// Token kind (and text for identifiers).
     pub kind: Kind,
     /// 1-based line number.
     pub line: u32,
+    /// 1-based column (in chars) of the token start.
+    pub col: u32,
     /// True when the token sits inside a `#[cfg(test)]` item.
     pub in_test: bool,
 }
@@ -77,19 +79,34 @@ pub fn lex(src: &str) -> Lexed {
     let mut out = Lexed::default();
     let mut i = 0usize;
     let mut line: u32 = 1;
+    let mut line_start = 0usize;
     let mut line_has_code = false;
 
+    // Push a token with the line/col captured *before* its consumption (a
+    // string may span newlines, mutating `line` while being consumed).
     macro_rules! push {
-        ($kind:expr) => {
-            out.tokens.push(Token { kind: $kind, line, in_test: false })
+        ($kind:expr, $line:expr, $col:expr) => {
+            out.tokens.push(Token { kind: $kind, line: $line, col: $col, in_test: false })
+        };
+    }
+    // Re-anchor `line_start` after consuming a construct that may contain
+    // newlines (multi-line strings, block comments).
+    macro_rules! resync_line_start {
+        () => {
+            if let Some(p) = bytes[..i].iter().rposition(|c| *c == '\n') {
+                line_start = p + 1;
+            }
         };
     }
 
     while i < bytes.len() {
         let c = bytes[i];
+        let tok_line = line;
+        let tok_col = (i - line_start + 1) as u32;
         match c {
             '\n' => {
                 line += 1;
+                line_start = i + 1;
                 line_has_code = false;
                 i += 1;
             }
@@ -134,33 +151,36 @@ pub fn lex(src: &str) -> Lexed {
                     own_line,
                 });
                 i = j;
+                resync_line_start!();
             }
             '"' => {
                 line_has_code = true;
                 i = consume_string(&bytes, i + 1, &mut line);
-                push!(Kind::Str);
+                resync_line_start!();
+                push!(Kind::Str, tok_line, tok_col);
             }
             'r' | 'b' if is_raw_or_byte_string(&bytes, i) => {
                 line_has_code = true;
                 i = consume_prefixed_string(&bytes, i, &mut line);
-                push!(Kind::Str);
+                resync_line_start!();
+                push!(Kind::Str, tok_line, tok_col);
             }
             'b' if bytes.get(i + 1) == Some(&'\'') => {
                 line_has_code = true;
                 i = consume_char_literal(&bytes, i + 2);
-                push!(Kind::Char);
+                push!(Kind::Char, tok_line, tok_col);
             }
             '\'' => {
                 line_has_code = true;
                 // Char literal or lifetime?
                 if bytes.get(i + 1) == Some(&'\\') {
                     i = consume_char_literal(&bytes, i + 1);
-                    push!(Kind::Char);
+                    push!(Kind::Char, tok_line, tok_col);
                 } else if bytes.get(i + 2) == Some(&'\'')
                     && bytes.get(i + 1).is_some_and(|c| *c != '\'')
                 {
                     i += 3;
-                    push!(Kind::Char);
+                    push!(Kind::Char, tok_line, tok_col);
                 } else {
                     // Lifetime: consume ident chars.
                     let mut j = i + 1;
@@ -168,14 +188,14 @@ pub fn lex(src: &str) -> Lexed {
                         j += 1;
                     }
                     i = j;
-                    push!(Kind::Lifetime);
+                    push!(Kind::Lifetime, tok_line, tok_col);
                 }
             }
             c if c.is_ascii_digit() => {
                 line_has_code = true;
                 let (next, is_float) = consume_number(&bytes, i);
                 i = next;
-                push!(if is_float { Kind::Float } else { Kind::Int });
+                push!(if is_float { Kind::Float } else { Kind::Int }, tok_line, tok_col);
             }
             c if c.is_alphabetic() || c == '_' => {
                 line_has_code = true;
@@ -185,7 +205,7 @@ pub fn lex(src: &str) -> Lexed {
                 }
                 let ident: String = bytes[i..j].iter().collect();
                 i = j;
-                push!(Kind::Ident(ident));
+                push!(Kind::Ident(ident), tok_line, tok_col);
             }
             _ => {
                 line_has_code = true;
@@ -206,7 +226,7 @@ pub fn lex(src: &str) -> Lexed {
                     _ => (Kind::Punct(c), 1),
                 };
                 i += advance;
-                push!(kind);
+                push!(kind, tok_line, tok_col);
             }
         }
     }

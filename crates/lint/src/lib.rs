@@ -20,11 +20,23 @@
 //! // ixp-lint: allow-file(no-float-eq, "bit-exact golden values")
 //! ```
 //!
-//! Family aliases `l1`..`l4` expand to their rule groups.
+//! Family aliases `l1`..`l7` expand to their rule groups.
+//!
+//! Beyond the token-level rules, the linter parses every file into a
+//! lightweight item tree ([`parser`]), builds a workspace symbol table
+//! ([`symbols`]), and runs three semantic passes: panic-reachability over
+//! the call graph ([`callgraph`], L5), wire-taint overflow analysis
+//! ([`taint`], L6), and determinism checks ([`determinism`], L7).
 
 pub mod baseline;
+pub mod callgraph;
+pub mod determinism;
+pub mod json;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod symbols;
+pub mod taint;
 
 use std::collections::{BTreeMap, HashMap};
 use std::fs;
@@ -40,6 +52,8 @@ pub struct Finding {
     pub file: String,
     /// 1-based line.
     pub line: u32,
+    /// 1-based column of the offending token; 0 when unknown.
+    pub col: u32,
     /// Rule id (one of [`rules::ALL_RULES`]).
     pub rule: &'static str,
     /// Human-readable explanation.
@@ -47,9 +61,14 @@ pub struct Finding {
 }
 
 impl Finding {
-    /// Construct a finding.
+    /// Construct a finding without column information.
     pub fn new(file: &str, line: u32, rule: &'static str, message: &str) -> Self {
-        Finding { file: file.to_string(), line, rule, message: message.to_string() }
+        Finding { file: file.to_string(), line, col: 0, rule, message: message.to_string() }
+    }
+
+    /// Construct a finding with a column.
+    pub fn at(file: &str, line: u32, col: u32, rule: &'static str, message: &str) -> Self {
+        Finding { file: file.to_string(), line, col, rule, message: message.to_string() }
     }
 
     /// The canonical `file:line: rule: message` rendering.
@@ -60,7 +79,7 @@ impl Finding {
 
 /// Allow directives collected from one file's comments.
 #[derive(Debug, Default)]
-struct FileAllows {
+pub(crate) struct FileAllows {
     /// Line number → rules allowed on that line.
     lines: HashMap<u32, Vec<&'static str>>,
     /// Rules allowed for the whole file.
@@ -68,7 +87,7 @@ struct FileAllows {
 }
 
 impl FileAllows {
-    fn suppresses(&self, rule: &str, line: u32) -> bool {
+    pub(crate) fn suppresses(&self, rule: &str, line: u32) -> bool {
         self.file_wide.iter().any(|r| *r == rule)
             || self.lines.get(&line).is_some_and(|rs| rs.iter().any(|r| *r == rule))
     }
@@ -78,7 +97,11 @@ const DIRECTIVE_MARKER: &str = "ixp-lint:";
 
 /// Parse lint directives (the `ixp-lint` comment marker) out of a file's
 /// comments. Malformed directives become `bad-directive` findings.
-fn parse_directives(path: &str, lexed: &Lexed, findings: &mut Vec<Finding>) -> FileAllows {
+pub(crate) fn parse_directives(
+    path: &str,
+    lexed: &Lexed,
+    findings: &mut Vec<Finding>,
+) -> FileAllows {
     let mut allows = FileAllows::default();
     for c in &lexed.comments {
         let Some(pos) = c.text.find(DIRECTIVE_MARKER) else { continue };
@@ -191,15 +214,24 @@ where
     let mut findings = Vec::new();
     let mut l4_map = BTreeMap::new();
     let mut allows: HashMap<String, FileAllows> = HashMap::new();
+    let mut lexed_files = Vec::new();
+    let mut parsed_files = Vec::new();
 
     for (path, src) in files {
         let lexed = lexer::lex(&src);
         let fa = parse_directives(&path, &lexed, &mut findings);
         rules::check_tokens(&path, &lexed, &mut findings);
         rules::collect_error_info(&path, &lexed, &mut l4_map);
+        determinism::check(&path, &lexed, &mut findings);
+        parsed_files.push(parser::parse(&path, &lexed));
+        lexed_files.push(lexed);
         allows.insert(path, fa);
     }
     rules::finalize_error_impl(&l4_map, &mut findings);
+
+    let table = symbols::SymbolTable::build(&parsed_files);
+    callgraph::check(&parsed_files, &table, &allows, &mut findings);
+    taint::check(&parsed_files, &lexed_files, &table, &mut findings);
 
     findings.retain(|f| {
         f.rule == "bad-directive"

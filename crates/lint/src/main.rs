@@ -2,11 +2,15 @@
 //!
 //! ```text
 //! cargo run -p ixp-lint                      # lint the workspace
+//! cargo run -p ixp-lint -- --format json     # machine-readable report
+//! cargo run -p ixp-lint -- --explain no-index
 //! cargo run -p ixp-lint -- --update-baseline # rewrite lint-baseline.toml
 //! cargo run -p ixp-lint -- --root <dir>      # lint another checkout
 //! ```
 //!
 //! Exit codes: 0 clean, 1 violations above baseline, 2 usage/I-O error.
+//! `--format json` keeps the same exit codes and writes the report
+//! documented in `crates/lint/src/json.rs` to stdout.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -14,21 +18,32 @@ use std::process::ExitCode;
 const BASELINE_FILE: &str = "lint-baseline.toml";
 
 fn usage() -> &'static str {
-    "usage: ixp-lint [--root <dir>] [--update-baseline]\n\
+    "usage: ixp-lint [--root <dir>] [--format text|json] [--update-baseline]\n\
+     \x20      ixp-lint --explain <rule>\n\
      \n\
-     Lints every workspace .rs file against the project rules (see\n\
-     crates/lint/src/rules.rs). Violations are tolerated only up to the\n\
-     counts recorded in lint-baseline.toml; --update-baseline rewrites\n\
-     that file from the current tree."
+     Lints every workspace .rs file against the project rules, families\n\
+     L1-L7 (see crates/lint/src/rules.rs). Violations are tolerated only\n\
+     up to the counts recorded in lint-baseline.toml; --update-baseline\n\
+     rewrites that file from the current tree. --format json emits the\n\
+     schema documented in crates/lint/src/json.rs; --explain prints the\n\
+     rationale for one rule or family alias (l1..l7)."
+}
+
+enum Format {
+    Text,
+    Json,
 }
 
 struct Args {
     root: Option<PathBuf>,
     update_baseline: bool,
+    format: Format,
+    explain: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { root: None, update_baseline: false };
+    let mut args =
+        Args { root: None, update_baseline: false, format: Format::Text, explain: None };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -37,6 +52,18 @@ fn parse_args() -> Result<Args, String> {
                 args.root = Some(PathBuf::from(v));
             }
             "--update-baseline" => args.update_baseline = true,
+            "--format" => {
+                let v = it.next().ok_or("--format requires `text` or `json`")?;
+                args.format = match v.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}`")),
+                };
+            }
+            "--explain" => {
+                let v = it.next().ok_or("--explain requires a rule name")?;
+                args.explain = Some(v);
+            }
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -44,8 +71,53 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// Print the registry entry for a rule id or family alias.
+fn explain(name: &str) -> Result<(), String> {
+    let rules = ixp_lint::rules::resolve_rule(name)
+        .ok_or_else(|| format!("unknown rule or family `{name}`"))?;
+    for (i, id) in rules.iter().enumerate() {
+        // Every id in ALL_RULES has a registry entry; enforced by a test.
+        let Some(info) = ixp_lint::rules::rule_info(id) else { continue };
+        if i > 0 {
+            println!();
+        }
+        println!("{} [{} / {}]", info.id, info.family, info.severity);
+        println!("  {}", info.summary);
+        println!();
+        for line in textwrap(info.explain, 76) {
+            println!("  {line}");
+        }
+    }
+    Ok(())
+}
+
+/// Minimal greedy word wrap for --explain output.
+fn textwrap(text: &str, width: usize) -> Vec<String> {
+    let mut lines = Vec::new();
+    let mut cur = String::new();
+    for word in text.split_whitespace() {
+        if !cur.is_empty() && cur.len() + 1 + word.len() > width {
+            lines.push(std::mem::take(&mut cur));
+        }
+        if !cur.is_empty() {
+            cur.push(' ');
+        }
+        cur.push_str(word);
+    }
+    if !cur.is_empty() {
+        lines.push(cur);
+    }
+    lines
+}
+
 fn run() -> Result<bool, String> {
     let args = parse_args()?;
+
+    if let Some(name) = &args.explain {
+        explain(name)?;
+        return Ok(true);
+    }
+
     let root = match args.root {
         Some(r) => r,
         None => {
@@ -85,16 +157,25 @@ fn run() -> Result<bool, String> {
     };
 
     let (kept, notes) = ixp_lint::baseline::apply(findings, &baseline);
-    for note in &notes {
-        eprintln!("ixp-lint: note: {note}");
-    }
-    for f in &kept {
-        println!("{}", f.render());
+    match args.format {
+        Format::Json => {
+            println!("{}", ixp_lint::json::report(&kept, &notes));
+        }
+        Format::Text => {
+            for note in &notes {
+                eprintln!("ixp-lint: note: {note}");
+            }
+            for f in &kept {
+                println!("{}", f.render());
+            }
+        }
     }
     if kept.is_empty() {
         Ok(true)
     } else {
-        eprintln!("ixp-lint: {} violation(s)", kept.len());
+        if matches!(args.format, Format::Text) {
+            eprintln!("ixp-lint: {} violation(s)", kept.len());
+        }
         Ok(false)
     }
 }

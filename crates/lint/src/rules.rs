@@ -14,13 +14,189 @@
 //! | `no-narrow-cast`| L2     | `sflow::accounting`, `core::census`           |
 //! | `no-float-eq`   | L3     | `core::{longitudinal, visibility, baseline}`  |
 //! | `error-impl`    | L4     | every crate `src/` tree                       |
+//! | `panic-path`    | L5     | `pub fn`s of stream-facing crates (whole-workspace call graph) |
+//! | `tainted-capacity`, `tainted-arith`, `tainted-slice-len` | L6 | stream-facing crates |
+//! | `hash-iter-order`, `ambient-time`, `ambient-random` | L7 | `core::{report, snapshot, bias}`, `ixp-faults` |
 //!
-//! Test code (`#[cfg(test)]` items) is exempt from L1–L3.
+//! Test code (`#[cfg(test)]` items) is exempt from every family except L4.
 
 use std::collections::{BTreeMap, HashSet};
 
 use crate::lexer::{Kind, Lexed};
 use crate::Finding;
+
+/// Metadata for one rule: where it sits in the family taxonomy and the
+/// `--explain` text.
+#[derive(Debug)]
+pub struct RuleInfo {
+    /// Rule id as it appears in findings and directives.
+    pub id: &'static str,
+    /// Family tag: `L1`..`L7`, or `meta` for the directive checker.
+    pub family: &'static str,
+    /// Diagnostic severity (currently always `error`; the field exists so
+    /// advisory rules can be added without a JSON schema bump).
+    pub severity: &'static str,
+    /// One-line summary.
+    pub summary: &'static str,
+    /// Longer `--explain` text.
+    pub explain: &'static str,
+}
+
+/// The full rule registry.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "no-unwrap",
+        family: "L1",
+        severity: "error",
+        summary: "no `.unwrap()` in stream-facing crates",
+        explain: "The decoders are fed raw network bytes and must never panic \
+                  (DESIGN.md §8). `.unwrap()` turns a malformed datagram into a \
+                  collector crash; return the crate's Error type instead.",
+    },
+    RuleInfo {
+        id: "no-expect",
+        family: "L1",
+        severity: "error",
+        summary: "no `.expect()` in stream-facing crates",
+        explain: "Like no-unwrap: `.expect()` panics on malformed input. The \
+                  message string does not make the crash acceptable; return an \
+                  Error with the same context instead.",
+    },
+    RuleInfo {
+        id: "no-panic",
+        family: "L1",
+        severity: "error",
+        summary: "no `panic!`/`todo!`/`unimplemented!` in stream-facing crates",
+        explain: "Explicit panic macros in a decoder convert hostile input into \
+                  denial of service. Unfinished paths must return Error, not todo!.",
+    },
+    RuleInfo {
+        id: "no-unreachable",
+        family: "L1",
+        severity: "error",
+        summary: "no `unreachable!` in stream-facing crates",
+        explain: "States judged impossible have a way of arriving off the wire. \
+                  Return an Error for impossible states so a wrong judgement is \
+                  a diagnostic, not an abort.",
+    },
+    RuleInfo {
+        id: "no-index",
+        family: "L1",
+        severity: "error",
+        summary: "no `[..]` indexing/slicing in stream-facing crates",
+        explain: "Slice indexing panics on out-of-bounds. Decoders must use \
+                  `.get()`, slice patterns, or split_at-style helpers after an \
+                  explicit length check. A checked site can be vouched for with \
+                  `// ixp-lint: allow(no-index) <reason>`.",
+    },
+    RuleInfo {
+        id: "no-narrow-cast",
+        family: "L2",
+        severity: "error",
+        summary: "no narrowing `as` casts in accounting modules",
+        explain: "Traffic estimates aggregate 64-bit counters; a narrowing `as` \
+                  silently truncates. Use TryFrom or keep the wide type \
+                  (DESIGN.md §8, L2).",
+    },
+    RuleInfo {
+        id: "no-float-eq",
+        family: "L3",
+        severity: "error",
+        summary: "no exact float comparison in longitudinal analytics",
+        explain: "Measured ratios carry rounding error; `==`/`!=` against floats \
+                  makes conclusions depend on accumulation order. Compare \
+                  against a tolerance.",
+    },
+    RuleInfo {
+        id: "error-impl",
+        family: "L4",
+        severity: "error",
+        summary: "public error enums implement Display + std::error::Error",
+        explain: "Every `pub enum *Error*` must implement Display and \
+                  std::error::Error somewhere in its crate, so callers can \
+                  propagate and print failures uniformly.",
+    },
+    RuleInfo {
+        id: "panic-path",
+        family: "L5",
+        severity: "error",
+        summary: "pub fns of stream-facing crates are transitively panic-free",
+        explain: "L5 builds the workspace call graph and computes the transitive \
+                  can-panic set. A `pub fn` in ixp-wire/ixp-sflow/ixp-faults that \
+                  can reach a panic through any workspace call chain — including \
+                  helpers in other crates, or assert!/assert_eq! which the L1 \
+                  token rules do not cover — is reported with the offending \
+                  chain. Sites suppressed by their L1 allow directive are \
+                  treated as vouched-safe and do not propagate.",
+    },
+    RuleInfo {
+        id: "tainted-capacity",
+        family: "L6",
+        severity: "error",
+        summary: "wire-tainted values must not size allocations",
+        explain: "A length decoded from the wire can be up to 2^32; passing it \
+                  to Vec::with_capacity lets one datagram demand gigabytes. Cap \
+                  the value against the remaining input (e.g. `.min(buf.len())`) \
+                  before sizing the allocation.",
+    },
+    RuleInfo {
+        id: "tainted-arith",
+        family: "L6",
+        severity: "error",
+        summary: "wire-tainted operands require checked arithmetic",
+        explain: "Unchecked `+`/`*`/`<<` on a wire-derived value overflows: a \
+                  panic in debug builds, a silent wrap in release — either way a \
+                  corrupted traffic estimate (the sampling-rate scaling of §3.1 \
+                  multiplies two wire values). Route the value through \
+                  checked_*/saturating_* arithmetic or validate its bound first.",
+    },
+    RuleInfo {
+        id: "tainted-slice-len",
+        family: "L6",
+        severity: "error",
+        summary: "wire-tainted values must not bound index/slice expressions",
+        explain: "Using a decoded length inside `[..]` panics when the datagram \
+                  lies about its own size. Validate against the buffer length \
+                  and use `.get()`.",
+    },
+    RuleInfo {
+        id: "hash-iter-order",
+        family: "L7",
+        severity: "error",
+        summary: "no HashMap/HashSet in deterministic output/replay paths",
+        explain: "HashMap iteration order is randomized per process. In report \
+                  rendering it reorders lines; in float accumulation it changes \
+                  sums; in ixp-faults it breaks bit-for-bit replay (DESIGN.md §9). \
+                  Use BTreeMap/BTreeSet or sort explicitly.",
+    },
+    RuleInfo {
+        id: "ambient-time",
+        family: "L7",
+        severity: "error",
+        summary: "no SystemTime::now/Instant::now in deterministic paths",
+        explain: "Wall-clock reads make two runs of the same input differ. \
+                  Timestamps must arrive as data (datagram uptime fields, plan \
+                  parameters), never be sampled ambiently.",
+    },
+    RuleInfo {
+        id: "ambient-random",
+        family: "L7",
+        severity: "error",
+        summary: "no ambient entropy in deterministic paths",
+        explain: "thread_rng/from_entropy/OsRng draw per-process entropy, \
+                  breaking the fault-replay guarantee. All randomness flows from \
+                  the seeded generator carried in the plan.",
+    },
+    RuleInfo {
+        id: "bad-directive",
+        family: "meta",
+        severity: "error",
+        summary: "malformed or unknown ixp-lint directives",
+        explain: "An `// ixp-lint:` comment that names an unknown rule or omits \
+                  the allow-file reason is itself a finding, so suppressions \
+                  cannot silently rot.",
+    },
+];
 
 /// Every rule the linter knows, including the meta rule for malformed
 /// directives.
@@ -33,6 +209,13 @@ pub const ALL_RULES: &[&str] = &[
     "no-narrow-cast",
     "no-float-eq",
     "error-impl",
+    "panic-path",
+    "tainted-capacity",
+    "tainted-arith",
+    "tainted-slice-len",
+    "hash-iter-order",
+    "ambient-time",
+    "ambient-random",
     "bad-directive",
 ];
 
@@ -40,7 +223,18 @@ pub const ALL_RULES: &[&str] = &[
 pub const L1_RULES: &[&str] =
     &["no-unwrap", "no-expect", "no-panic", "no-unreachable", "no-index"];
 
-/// Expand a rule name or family alias (`l1`..`l4`) into concrete rules.
+/// The L6 family: wire-taint overflow analysis.
+pub const L6_RULES: &[&str] = &["tainted-capacity", "tainted-arith", "tainted-slice-len"];
+
+/// The L7 family: determinism of output and replay paths.
+pub const L7_RULES: &[&str] = &["hash-iter-order", "ambient-time", "ambient-random"];
+
+/// Registry lookup by rule id.
+pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// Expand a rule name or family alias (`l1`..`l7`) into concrete rules.
 /// Returns `None` for unknown names.
 pub fn resolve_rule(name: &str) -> Option<Vec<&'static str>> {
     if let Some(&r) = ALL_RULES.iter().find(|r| **r == name) {
@@ -51,6 +245,9 @@ pub fn resolve_rule(name: &str) -> Option<Vec<&'static str>> {
         "l2" | "L2" => Some(vec!["no-narrow-cast"]),
         "l3" | "L3" => Some(vec!["no-float-eq"]),
         "l4" | "L4" => Some(vec!["error-impl"]),
+        "l5" | "L5" => Some(vec!["panic-path"]),
+        "l6" | "L6" => Some(L6_RULES.to_vec()),
+        "l7" | "L7" => Some(L7_RULES.to_vec()),
         _ => None,
     }
 }
@@ -58,7 +255,7 @@ pub fn resolve_rule(name: &str) -> Option<Vec<&'static str>> {
 /// L1 scope: source trees of the crates that face the raw datagram stream —
 /// the two packet parsers plus the fault injector (which rewrites encoded
 /// datagrams and must survive anything it is fed, including its own output).
-fn l1_applies(path: &str) -> bool {
+pub(crate) fn l1_applies(path: &str) -> bool {
     path.starts_with("crates/wire/src/")
         || path.starts_with("crates/sflow/src/")
         || path.starts_with("crates/faults/src/")
@@ -92,7 +289,7 @@ fn l4_applies(path: &str) -> bool {
 
 /// Identifiers that may legally precede `[` without it being an index
 /// expression (mostly keywords introducing array patterns/types).
-const NON_INDEXABLE_KEYWORDS: &[&str] = &[
+pub(crate) const NON_INDEXABLE_KEYWORDS: &[&str] = &[
     "let", "in", "mut", "ref", "return", "as", "if", "else", "match", "move",
     "static", "const", "dyn", "impl", "for", "where", "use", "pub", "enum",
     "struct", "fn", "type", "break", "continue", "loop", "while", "unsafe",
@@ -482,7 +679,24 @@ mod tests { pub enum TestError { X } }
     #[test]
     fn aliases_resolve() {
         assert_eq!(resolve_rule("l1").map(|v| v.len()), Some(5));
+        assert_eq!(resolve_rule("l6").map(|v| v.len()), Some(3));
+        assert_eq!(resolve_rule("l7").map(|v| v.len()), Some(3));
         assert_eq!(resolve_rule("no-index"), Some(vec!["no-index"]));
+        assert_eq!(resolve_rule("panic-path"), Some(vec!["panic-path"]));
         assert_eq!(resolve_rule("nope"), None);
+    }
+
+    #[test]
+    fn registry_covers_every_rule() {
+        assert_eq!(RULES.len(), ALL_RULES.len());
+        for id in ALL_RULES {
+            let info = rule_info(id).unwrap_or_else(|| panic!("{id} missing from RULES"));
+            assert!(!info.summary.is_empty() && !info.explain.is_empty());
+            assert!(
+                matches!(info.family, "L1" | "L2" | "L3" | "L4" | "L5" | "L6" | "L7" | "meta"),
+                "{id} has odd family {}",
+                info.family
+            );
+        }
     }
 }

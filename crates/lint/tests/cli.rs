@@ -31,8 +31,60 @@ fn violations_tree_exits_one_with_findings_on_stdout() {
     );
     assert!(stdout.contains("crates/wire/src/bad.rs:10: no-index: "));
     assert!(stdout.contains("crates/badcrate/src/lib.rs:1: error-impl: "));
+    // One violation per new semantic rule family as well.
+    assert!(stdout.contains("crates/wire/src/l5.rs:6: panic-path: "));
+    assert!(stdout.contains("crates/sflow/src/taint.rs:5: tainted-capacity: "));
+    assert!(stdout.contains("crates/faults/src/clock.rs:4: ambient-time: "));
     let stderr = String::from_utf8(out.stderr).unwrap();
-    assert!(stderr.contains("9 violation(s)"), "stderr was: {stderr}");
+    assert!(stderr.contains("16 violation(s)"), "stderr was: {stderr}");
+}
+
+#[test]
+fn json_format_emits_the_documented_schema() {
+    let out = run_lint(&["--root", fixture("violations").to_str().unwrap(), "--format", "json"]);
+    // Same exit code as the text format.
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let v = ixp_lint::json::parse(&stdout).expect("report must be valid JSON");
+    assert_eq!(v.get("version").and_then(|s| s.as_u64()), Some(1));
+    let findings = v.get("findings").and_then(|f| f.as_arr()).expect("findings array");
+    assert_eq!(v.get("summary").and_then(|s| s.get("total")).and_then(|t| t.as_u64()), Some(16));
+    let unwrap_finding = findings
+        .iter()
+        .find(|f| f.get("rule").and_then(|r| r.as_str()) == Some("no-unwrap"))
+        .expect("no-unwrap finding present");
+    assert_eq!(
+        unwrap_finding.get("file").and_then(|f| f.as_str()),
+        Some("crates/wire/src/bad.rs")
+    );
+    assert_eq!(unwrap_finding.get("line").and_then(|l| l.as_u64()), Some(2));
+    assert_eq!(unwrap_finding.get("family").and_then(|f| f.as_str()), Some("L1"));
+    assert_eq!(unwrap_finding.get("severity").and_then(|s| s.as_str()), Some("error"));
+    assert!(unwrap_finding.get("column").and_then(|c| c.as_u64()).is_some());
+}
+
+#[test]
+fn json_format_on_the_workspace_parses_cleanly() {
+    // The same invocation scripts/ci.sh uses to write target/lint-report.json.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap().to_path_buf();
+    let out = run_lint(&["--root", root.to_str().unwrap(), "--format", "json"]);
+    assert_eq!(out.status.code(), Some(0), "workspace must lint clean");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let v = ixp_lint::json::parse(&stdout).expect("workspace report must be valid JSON");
+    assert_eq!(v.get("version").and_then(|s| s.as_u64()), Some(1));
+    assert_eq!(v.get("summary").and_then(|s| s.get("total")).and_then(|t| t.as_u64()), Some(0));
+}
+
+#[test]
+fn explain_prints_rule_rationale() {
+    let out = run_lint(&["--explain", "panic-path"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("panic-path [L5 / error]"), "{stdout}");
+    assert!(stdout.contains("call graph"), "{stdout}");
+
+    let out = run_lint(&["--explain", "no-such-rule"]);
+    assert_eq!(out.status.code(), Some(2));
 }
 
 #[test]

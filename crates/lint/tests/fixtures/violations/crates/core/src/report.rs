@@ -1,0 +1,11 @@
+//! L7 fixture: randomized iteration order feeding rendered output.
+
+use std::collections::HashMap;
+
+pub fn render(shares: &HashMap<u32, u64>) -> String {
+    let mut out = String::new();
+    for (ifindex, bytes) in shares {
+        out.push_str(&format!("{ifindex} {bytes}\n"));
+    }
+    out
+}

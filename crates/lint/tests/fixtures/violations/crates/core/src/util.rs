@@ -1,0 +1,7 @@
+//! Helper crate for the L5 fixture: `pick` panics locally, but `ixp-core`
+//! is outside the L1/L5 scope, so the only report comes from the in-scope
+//! caller in `crates/wire/src/l5.rs`.
+
+pub fn pick(b: &[u8]) -> u8 {
+    b[7]
+}

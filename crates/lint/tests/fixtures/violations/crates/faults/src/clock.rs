@@ -1,0 +1,7 @@
+//! L7 fixture: ambient time and ambient entropy in a replay path.
+
+pub fn stamp() -> (u64, u32) {
+    let t = SystemTime::now();
+    let jitter = rand::thread_rng().next_u32();
+    (elapsed_ms(t), jitter)
+}

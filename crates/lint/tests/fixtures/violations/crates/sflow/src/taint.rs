@@ -1,0 +1,11 @@
+//! L6 fixture: one violation of each wire-taint rule.
+
+pub fn decode(r: &mut Reader, buf: &[u8]) -> Result<(), DecodeError> {
+    let n = r.u32()? as usize;
+    let samples = Vec::with_capacity(n);
+    let total = n + 16;
+    // ixp-lint: allow(no-index) fixture isolates the taint rule from L1
+    let first = buf[n];
+    let _ = (samples, total, first);
+    Ok(())
+}

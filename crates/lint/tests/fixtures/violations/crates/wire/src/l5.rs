@@ -1,0 +1,8 @@
+//! L5 fixture: a stream-facing pub fn that reaches a panic only through a
+//! cross-crate call, which the token-level L1 rules cannot see.
+
+use ixp_core::util::pick;
+
+pub fn first_byte(b: &[u8]) -> u8 {
+    pick(b)
+}

@@ -15,19 +15,39 @@ fn violations_tree_reports_every_rule_exactly() {
         findings.iter().map(|f| (f.file.clone(), f.line, f.rule)).collect();
     let expected: Vec<(String, u32, &str)> = [
         ("crates/badcrate/src/lib.rs", 1, "error-impl"),
+        ("crates/core/src/report.rs", 5, "hash-iter-order"),
         ("crates/core/src/visibility.rs", 2, "no-float-eq"),
+        ("crates/faults/src/clock.rs", 4, "ambient-time"),
+        ("crates/faults/src/clock.rs", 5, "ambient-random"),
         ("crates/sflow/src/accounting.rs", 2, "no-narrow-cast"),
+        ("crates/sflow/src/taint.rs", 5, "tainted-capacity"),
+        ("crates/sflow/src/taint.rs", 6, "tainted-arith"),
+        ("crates/sflow/src/taint.rs", 8, "tainted-slice-len"),
         ("crates/wire/src/bad.rs", 2, "no-unwrap"),
         ("crates/wire/src/bad.rs", 3, "no-expect"),
         ("crates/wire/src/bad.rs", 5, "no-panic"),
         ("crates/wire/src/bad.rs", 8, "no-unreachable"),
         ("crates/wire/src/bad.rs", 10, "no-index"),
         ("crates/wire/src/bad_directive.rs", 1, "bad-directive"),
+        ("crates/wire/src/l5.rs", 6, "panic-path"),
     ]
     .into_iter()
     .map(|(f, l, r)| (f.to_string(), l, r))
     .collect();
     assert_eq!(got, expected);
+}
+
+#[test]
+fn l5_trace_names_the_cross_crate_chain() {
+    let findings = ixp_lint::scan_workspace(&fixture("violations")).unwrap();
+    let trace = findings
+        .iter()
+        .find(|f| f.rule == "panic-path")
+        .map(|f| f.message.clone())
+        .unwrap();
+    assert!(trace.contains("first_byte"), "{trace}");
+    assert!(trace.contains("pick"), "{trace}");
+    assert!(trace.contains("crates/core/src/util.rs"), "{trace}");
 }
 
 #[test]

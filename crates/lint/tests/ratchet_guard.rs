@@ -1,0 +1,50 @@
+//! CI guard for the ratchet baseline: the entry count may only go down.
+//!
+//! `lint-baseline.toml` grandfathers pre-existing violations; every burn-
+//! down shrinks it, and nothing is ever allowed to grow it back. When a
+//! burn-down lands, lower `MAX_BASELINE_ENTRIES` to match — raising it is
+//! the one edit this test exists to make loud.
+
+use std::fs;
+use std::path::Path;
+
+/// The committed baseline is empty: every rule family is enforced at zero
+/// tolerated violations across the workspace.
+const MAX_BASELINE_ENTRIES: usize = 0;
+
+fn workspace_root() -> &'static Path {
+    // crates/lint -> crates -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap()
+}
+
+#[test]
+fn baseline_entry_count_never_grows() {
+    let path = workspace_root().join("lint-baseline.toml");
+    let text = fs::read_to_string(&path).unwrap_or_default();
+    let baseline = ixp_lint::baseline::parse(&text).expect("committed baseline must parse");
+    assert!(
+        baseline.entries.len() <= MAX_BASELINE_ENTRIES,
+        "lint-baseline.toml grew to {} entr(ies); the ratchet only goes down. \
+         Fix the new finding or vouch for it with an inline \
+         `// ixp-lint: allow(<rule>) <reason>` directive instead of baselining it.",
+        baseline.entries.len(),
+    );
+    for e in &baseline.entries {
+        assert!(
+            e.reason.is_some(),
+            "baseline entry {}:{} has no `reason`; every grandfathered pair must say why",
+            e.file,
+            e.rule,
+        );
+    }
+}
+
+#[test]
+fn committed_workspace_is_clean_without_any_baseline() {
+    let findings = ixp_lint::scan_workspace(workspace_root()).expect("workspace scan");
+    assert!(
+        findings.is_empty(),
+        "the tree must lint clean with an empty ratchet:\n{}",
+        findings.iter().map(|f| f.render()).collect::<Vec<_>>().join("\n"),
+    );
+}

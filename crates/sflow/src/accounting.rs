@@ -30,18 +30,22 @@ impl TrafficEstimate {
         self.add_raw(sample.sampling_rate, sample.record.frame_length);
     }
 
-    /// Account one sample given its rate and original frame length.
+    /// Account one sample given its rate and original frame length. Both
+    /// inputs come straight off the wire, so the scaling arithmetic
+    /// saturates rather than wrapping on forged extremes.
     pub fn add_raw(&mut self, sampling_rate: u32, frame_length: u32) {
         self.samples += 1;
-        self.frames += u64::from(sampling_rate);
-        self.bytes += u64::from(sampling_rate) * u64::from(frame_length);
+        self.frames = self.frames.saturating_add(u64::from(sampling_rate));
+        self.bytes = self
+            .bytes
+            .saturating_add(u64::from(sampling_rate).saturating_mul(u64::from(frame_length)));
     }
 
     /// Merge another estimate into this one.
     pub fn merge(&mut self, other: &TrafficEstimate) {
-        self.samples += other.samples;
-        self.frames += other.frames;
-        self.bytes += other.bytes;
+        self.samples = self.samples.saturating_add(other.samples);
+        self.frames = self.frames.saturating_add(other.frames);
+        self.bytes = self.bytes.saturating_add(other.bytes);
     }
 
     /// This estimate's byte share of a total, in percent (0 if total empty).

@@ -331,11 +331,21 @@ impl Collector {
                     totals: CounterTotals { exports: 0, ..CounterTotals::default() },
                 });
             if track.totals.exports > 0 {
+                // The deltas are wrap-corrected but still wire-controlled:
+                // a forged absolute counter can make a single delta huge, so
+                // the running totals saturate rather than overflowing.
                 let t = &mut track.totals;
-                t.in_octets += c.if_in_octets.wrapping_sub(track.last.if_in_octets);
-                t.out_octets += c.if_out_octets.wrapping_sub(track.last.if_out_octets);
-                t.in_ucast += u64::from(c.if_in_ucast.wrapping_sub(track.last.if_in_ucast));
-                t.out_ucast += u64::from(c.if_out_ucast.wrapping_sub(track.last.if_out_ucast));
+                t.in_octets =
+                    t.in_octets.saturating_add(c.if_in_octets.wrapping_sub(track.last.if_in_octets));
+                t.out_octets = t
+                    .out_octets
+                    .saturating_add(c.if_out_octets.wrapping_sub(track.last.if_out_octets));
+                t.in_ucast = t
+                    .in_ucast
+                    .saturating_add(u64::from(c.if_in_ucast.wrapping_sub(track.last.if_in_ucast)));
+                t.out_ucast = t
+                    .out_ucast
+                    .saturating_add(u64::from(c.if_out_ucast.wrapping_sub(track.last.if_out_ucast)));
             }
             track.totals.exports += 1;
             track.last = c.clone();

@@ -176,7 +176,7 @@ impl Datagram {
             // Cheap sanity bound: each sample needs well over 8 bytes.
             return Err(DecodeError::Inconsistent);
         }
-        let mut samples = Vec::with_capacity(n_samples);
+        let mut samples = Vec::with_capacity(n_samples.min(data.len() / 8));
         let mut counters = Vec::new();
         for _ in 0..n_samples {
             match decode_sample(&mut r)? {
@@ -208,7 +208,7 @@ fn encode_flow_sample(out: &mut Vec<u8>, sample: &FlowSample) {
     // Raw packet header record.
     out.put_u32(RECORD_TYPE_RAW_PACKET);
     let rec = &sample.record;
-    let record_len = 16 + xdr::pad4(rec.header.len());
+    let record_len = 16usize.saturating_add(xdr::pad4(rec.header.len()));
     out.put_u32(record_len as u32);
     out.put_u32(rec.protocol);
     out.put_u32(rec.frame_length);

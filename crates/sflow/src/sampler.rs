@@ -63,6 +63,7 @@ pub struct Sampler {
 impl Sampler {
     /// Create a sampler; the first skip count is drawn immediately.
     pub fn new(config: SamplerConfig) -> Self {
+        // ixp-lint: allow(panic-path) rate is operator configuration, not wire input
         assert!(config.rate >= 1, "sampling rate must be at least 1");
         let mut rng = SmallRng::seed_from_u64(config.seed);
         let skip = draw_skip(&mut rng, config.rate);

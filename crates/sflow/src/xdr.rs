@@ -5,9 +5,11 @@ use bytes::BufMut;
 
 use crate::datagram::DecodeError;
 
-/// Pad a byte length up to the next multiple of four.
+/// Pad a byte length up to the next multiple of four. Saturates instead of
+/// wrapping for lengths within 3 of `usize::MAX` (which no real datagram
+/// can reach, but a forged length field can claim).
 pub fn pad4(len: usize) -> usize {
-    (len + 3) & !3
+    len.saturating_add(3) & !3
 }
 
 /// Append an opaque byte string with XDR padding (no length prefix; sFlow
@@ -58,8 +60,9 @@ impl<'a> Reader<'a> {
         if self.remaining() < padded {
             return Err(DecodeError::Truncated);
         }
-        let out = self.data.get(self.pos..self.pos + len).ok_or(DecodeError::Truncated)?;
-        self.pos += padded;
+        let end = self.pos.checked_add(len).ok_or(DecodeError::Truncated)?;
+        let out = self.data.get(self.pos..end).ok_or(DecodeError::Truncated)?;
+        self.pos = self.pos.saturating_add(padded);
         Ok(out)
     }
 
@@ -68,7 +71,7 @@ impl<'a> Reader<'a> {
         if self.remaining() < len {
             return Err(DecodeError::Truncated);
         }
-        self.pos += len;
+        self.pos = self.pos.saturating_add(len);
         Ok(())
     }
 }

@@ -14,6 +14,14 @@ pub struct Checksum {
     odd_fed: bool,
 }
 
+/// Add with end-around carry, the incremental RFC 1071 form: a carry out
+/// of bit 31 folds straight back into bit 0, so the accumulator stays
+/// congruent mod 0xffff no matter how much data is fed.
+fn fold_add(sum: u32, word: u32) -> u32 {
+    let (s, carried) = sum.overflowing_add(word);
+    s.wrapping_add(u32::from(carried))
+}
+
 impl Checksum {
     /// A fresh accumulator.
     pub fn new() -> Self {
@@ -31,11 +39,11 @@ impl Checksum {
         let mut chunks = data.chunks_exact(2);
         for chunk in &mut chunks {
             if let &[hi, lo] = chunk {
-                self.sum += u32::from(u16::from_be_bytes([hi, lo]));
+                self.sum = fold_add(self.sum, u32::from(u16::from_be_bytes([hi, lo])));
             }
         }
         if let [last] = chunks.remainder() {
-            self.sum += u32::from(u16::from_be_bytes([*last, 0]));
+            self.sum = fold_add(self.sum, u32::from(u16::from_be_bytes([*last, 0])));
             self.odd_fed = true;
         }
     }
@@ -46,7 +54,7 @@ impl Checksum {
             !self.odd_fed,
             "Checksum::add_u16 after an odd-length slice; only the final slice may be odd"
         );
-        self.sum += u32::from(v);
+        self.sum = fold_add(self.sum, u32::from(v));
     }
 
     /// Feed the TCP/UDP pseudo-header for the given IPv4 endpoints.

@@ -22,6 +22,14 @@ cargo test -q --test fault_tolerance
 echo "==> cargo run -p ixp-lint"
 cargo run -q -p ixp-lint
 
+echo "==> cargo run -p ixp-lint -- --format json > target/lint-report.json"
+mkdir -p target
+cargo run -q -p ixp-lint -- --format json > target/lint-report.json
+# Smoke-check the machine-readable report: it must parse against the
+# documented schema (crates/lint/src/json.rs) and agree with the gate
+# above that the tree is clean.
+cargo test -q -p ixp-lint --test cli json_format_
+
 if cargo clippy --version >/dev/null 2>&1 && [ -z "${IXP_CI_OFFLINE:-}" ]; then
     echo "==> cargo clippy --workspace --all-targets"
     cargo clippy --workspace --all-targets -- -D warnings || {
