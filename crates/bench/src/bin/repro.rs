@@ -6,14 +6,24 @@
 //! ```text
 //! cargo run --release -p ixp-bench --bin repro -- [--scale tiny|small|paper:<divisor>]
 //!     [--seed N] [--markdown <path>] [--exp <id>]
+//!     [--metrics <path>] [--prometheus <path>] [--clock test|real]
 //! ```
+//!
+//! Every run also writes the observability snapshot (`ixp-obs`, JSON
+//! schema `ixp-obs/1`) to `--metrics` (default
+//! `target/metrics-snapshot.json`). With the default `--clock test` the
+//! clock is frozen, so two runs with the same seed and scale produce
+//! byte-identical snapshots — `scripts/ci.sh` checks exactly that. Pass
+//! `--clock real` for actual stage durations (at the cost of
+//! reproducibility of the timing histograms).
 
 use std::fmt::Write as _;
 
-use ixp_core::analyzer::{Analyzer, StudyReport};
+use ixp_core::analyzer::{stage_metric, Analyzer, StudyReport};
 use ixp_core::{baseline, blindspots, changes, cluster, hetero, longitudinal, report, visibility};
 use ixp_core::cluster::Clusters;
 use ixp_netmodel::{InternetModel, ScaleConfig, Week};
+use ixp_obs::{Obs, Stopwatch};
 
 struct Args {
     scale: ScaleConfig,
@@ -21,6 +31,9 @@ struct Args {
     seed: u64,
     markdown: Option<String>,
     exp: Option<String>,
+    metrics: String,
+    prometheus: Option<String>,
+    real_clock: bool,
 }
 
 fn parse_args() -> Args {
@@ -29,6 +42,9 @@ fn parse_args() -> Args {
     let mut seed = 2012u64;
     let mut markdown = None;
     let mut exp = None;
+    let mut metrics = "target/metrics-snapshot.json".to_string();
+    let mut prometheus = None;
+    let mut real_clock = false;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -50,10 +66,19 @@ fn parse_args() -> Args {
             "--seed" => seed = it.next().and_then(|s| s.parse().ok()).expect("--seed N"),
             "--markdown" => markdown = it.next(),
             "--exp" => exp = it.next(),
+            "--metrics" => metrics = it.next().expect("--metrics path"),
+            "--prometheus" => prometheus = it.next(),
+            "--clock" => {
+                real_clock = match it.next().expect("--clock test|real").as_str() {
+                    "real" => true,
+                    "test" => false,
+                    other => panic!("--clock test|real, got {other}"),
+                };
+            }
             other => panic!("unknown argument {other}"),
         }
     }
-    Args { scale, scale_name, seed, markdown, exp }
+    Args { scale, scale_name, seed, markdown, exp, metrics, prometheus, real_clock }
 }
 
 /// Collects sections for the markdown report.
@@ -78,7 +103,11 @@ impl Out {
 
 fn main() {
     let args = parse_args();
-    let t0 = std::time::Instant::now();
+    // The only time source of the whole run: the obs clock. `--clock test`
+    // (default) freezes it so the snapshot is byte-reproducible.
+    let obs = if args.real_clock { Obs::real() } else { Obs::deterministic() };
+    let t0 = Stopwatch::start(obs.clock.as_ref());
+    let secs = |sw: &Stopwatch| sw.elapsed_ns(obs.clock.as_ref()) as f64 / 1e9;
     eprintln!("generating model (scale={}, seed={}) ...", args.scale_name, args.seed);
     let model = Box::leak(Box::new(InternetModel::generate(args.scale.clone(), args.seed)));
     eprintln!(
@@ -87,16 +116,16 @@ fn main() {
         model.routing.len(),
         model.orgs.len(),
         model.servers.servers().len(),
-        t0.elapsed().as_secs_f64()
+        secs(&t0)
     );
 
-    let analyzer = Analyzer::new(model);
+    let analyzer = Analyzer::with_obs(model, obs.clone());
     eprintln!("running 17-week study ...");
     let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
     let study = analyzer.run_study(threads.min(8));
-    eprintln!("  study done at {:.1}s", t0.elapsed().as_secs_f64());
+    eprintln!("  study done at {:.1}s", secs(&t0));
     let reference = study.reference();
-    let clusters = cluster::cluster(reference, &analyzer.dns);
+    let clusters = obs.time(&stage_metric("clustering"), || cluster::cluster(reference, &analyzer.dns));
 
     let mut out = Out {
         md: format!(
@@ -108,13 +137,13 @@ fn main() {
 
     e1_fig1(&mut out, reference);
     e2_fig2(&mut out, reference);
-    e3_table1(&mut out, reference, model, &args.scale);
+    e3_table1(&mut out, reference, model, &args.scale, &obs);
     e4_fig3(&mut out, reference, model);
-    e5_table2(&mut out, reference, model);
-    e6_table3(&mut out, reference);
+    e5_table2(&mut out, reference, model, &obs);
+    e6_table3(&mut out, reference, &obs);
     e7_serverid(&mut out, reference);
     e8_metadata(&mut out, reference);
-    e9_to_e12_longitudinal(&mut out, &study);
+    e9_to_e12_longitudinal(&mut out, &study, &obs);
     e13_https(&mut out, &study);
     e14_ec2(&mut out, &study);
     e15_sandy(&mut out, &study);
@@ -129,10 +158,30 @@ fn main() {
     ablations(&mut out, &analyzer, reference, model);
     faults_sweep(&mut out, &analyzer, reference, args.seed);
 
-    eprintln!("all experiments done at {:.1}s", t0.elapsed().as_secs_f64());
+    eprintln!("all experiments done at {:.1}s", secs(&t0));
     if let Some(path) = args.markdown {
         std::fs::write(&path, out.md).expect("write markdown");
         eprintln!("wrote {path}");
+    }
+
+    // Export the run's observability snapshot. Sorted + integer-only, so
+    // with the frozen test clock two same-seed runs are byte-identical.
+    let snapshot = obs.snapshot();
+    if let Some(parent) = std::path::Path::new(&args.metrics).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create metrics dir");
+        }
+    }
+    std::fs::write(&args.metrics, ixp_obs::json::render(&snapshot)).expect("write metrics snapshot");
+    eprintln!(
+        "wrote metrics snapshot to {} ({} metrics)",
+        args.metrics,
+        snapshot.entries.len()
+    );
+    if let Some(path) = args.prometheus {
+        std::fs::write(&path, ixp_obs::prometheus::render(&snapshot))
+            .expect("write prometheus exposition");
+        eprintln!("wrote prometheus exposition to {path}");
     }
 }
 
@@ -156,9 +205,10 @@ fn e3_table1(
     reference: &ixp_core::WeeklyReport,
     model: &InternetModel,
     scale: &ScaleConfig,
+    obs: &Obs,
 ) {
     let mut body = report::render_table1(reference);
-    let t1 = visibility::table1(&reference.snapshot);
+    let t1 = obs.time(&stage_metric("visibility"), || visibility::table1(&reference.snapshot));
     let _ = writeln!(
         body,
         "  coverage: {:.1} % of routed prefixes, {:.1} % of routed ASes seen (paper: ~98 %, ~100 %)",
@@ -186,8 +236,9 @@ fn e4_fig3(out: &mut Out, reference: &ixp_core::WeeklyReport, model: &InternetMo
     out.section("E4", "Fig. 3 — IPs per country", body);
 }
 
-fn e5_table2(out: &mut Out, reference: &ixp_core::WeeklyReport, model: &InternetModel) {
-    let t2 = visibility::table2(&reference.snapshot, model, 10);
+fn e5_table2(out: &mut Out, reference: &ixp_core::WeeklyReport, model: &InternetModel, obs: &Obs) {
+    let t2 =
+        obs.time(&stage_metric("visibility"), || visibility::table2(&reference.snapshot, model, 10));
     let mut body = report::render_table2(&t2);
     let _ = writeln!(
         body,
@@ -196,8 +247,8 @@ fn e5_table2(out: &mut Out, reference: &ixp_core::WeeklyReport, model: &Internet
     out.section("E5", "Table 2 — top contributors", body);
 }
 
-fn e6_table3(out: &mut Out, reference: &ixp_core::WeeklyReport) {
-    let t3 = visibility::table3(&reference.snapshot);
+fn e6_table3(out: &mut Out, reference: &ixp_core::WeeklyReport, obs: &Obs) {
+    let t3 = obs.time(&stage_metric("visibility"), || visibility::table3(&reference.snapshot));
     let mut body = report::render_table3(&t3);
     let _ = writeln!(
         body,
@@ -261,8 +312,9 @@ fn e8_metadata(out: &mut Out, reference: &ixp_core::WeeklyReport) {
     out.section("E8", "§2.4 — meta-data coverage", body);
 }
 
-fn e9_to_e12_longitudinal(out: &mut Out, study: &StudyReport) {
-    let (f4a, f4b, f4c, f5) = longitudinal::churn(study);
+fn e9_to_e12_longitudinal(out: &mut Out, study: &StudyReport, obs: &Obs) {
+    let (f4a, f4b, f4c, f5) =
+        obs.time(&stage_metric("longitudinal"), || longitudinal::churn(study));
     let s = longitudinal::summary(&f4a, &f4c, &f5);
 
     let mut body = String::new();

@@ -27,6 +27,7 @@ use std::net::Ipv4Addr;
 
 use ixp_faults::{retry_with_backoff, AttemptLog, Quarantine, RetryPolicy};
 use ixp_netmodel::{InternetModel, OrgKind, ServerFlags, Week};
+use ixp_obs::{Counter, Obs};
 
 use crate::x509::{Certificate, Chain, KeyUsage, RootStore};
 
@@ -69,6 +70,38 @@ struct CertProfile {
     defect: Defect,
 }
 
+/// Live crawl metrics (`cert_*` counter families). Counters only: counts
+/// sum the same whatever order the parallel study weeks crawl in, so the
+/// metrics snapshot stays deterministic. The quarantine table's size is
+/// interleaving-dependent and is therefore *not* exported as a metric —
+/// use [`CrawlSim::quarantined_hosts`] for the operational reading.
+#[derive(Debug, Clone, Default)]
+pub struct CrawlMetrics {
+    /// Fetches issued through [`CrawlSim::fetch_with_retry`].
+    pub fetches: Counter,
+    /// Individual attempt rounds across all fetches.
+    pub attempts: Counter,
+    /// Fetches whose simulated deadline ran out.
+    pub exhausted: Counter,
+    /// Repeated-fetch campaigns run ([`CrawlSim::fetch_repeatedly`]).
+    pub campaigns: Counter,
+    /// Campaigns cut short by the persistent-failure cutoff.
+    pub abandoned: Counter,
+}
+
+impl CrawlMetrics {
+    fn register(obs: &Obs) -> CrawlMetrics {
+        let r = &obs.registry;
+        CrawlMetrics {
+            fetches: r.counter("cert_fetches_total"),
+            attempts: r.counter("cert_attempts_total"),
+            exhausted: r.counter("cert_exhausted_deadline_total"),
+            campaigns: r.counter("cert_campaigns_total"),
+            abandoned: r.counter("cert_campaigns_abandoned_total"),
+        }
+    }
+}
+
 /// The crawl simulator.
 #[derive(Debug)]
 pub struct CrawlSim {
@@ -79,6 +112,8 @@ pub struct CrawlSim {
     /// Hosts that persistently answered nothing (reporting only — never
     /// consulted to gate results, so parallel weeks stay deterministic).
     quarantine: Quarantine<u32>,
+    /// Live crawl metrics (detached until [`CrawlSim::bind_obs`]).
+    metrics: CrawlMetrics,
 }
 
 impl CrawlSim {
@@ -177,7 +212,20 @@ impl CrawlSim {
             seed,
             policy: RetryPolicy::default(),
             quarantine: Quarantine::new(PERSISTENT_FAILURE_CUTOFF),
+            metrics: CrawlMetrics::default(),
         }
+    }
+
+    /// Publish this crawler's metrics into an observability bundle's
+    /// registry (`cert_*` counter families).
+    pub fn bind_obs(&mut self, obs: &Obs) {
+        self.metrics = CrawlMetrics::register(obs);
+    }
+
+    /// The live crawl metrics (detached unless [`CrawlSim::bind_obs`] was
+    /// called).
+    pub fn metrics(&self) -> &CrawlMetrics {
+        &self.metrics
     }
 
     /// Crawl an IP in a given week (attempt counter distinguishes repeated
@@ -255,6 +303,11 @@ impl CrawlSim {
                 Some(self.fetch(model, ip, week, attempt))
             }
         });
+        self.metrics.fetches.inc();
+        self.metrics.attempts.add(u64::from(log.attempts));
+        if log.exhausted_deadline {
+            self.metrics.exhausted.inc();
+        }
         (result.unwrap_or(CrawlResult::NoAnswer), log)
     }
 
@@ -273,11 +326,13 @@ impl CrawlSim {
         week: Week,
         attempts: u32,
     ) -> Vec<(Chain, u8)> {
+        self.metrics.campaigns.inc();
         let mut out = Vec::new();
         let mut dead_streak = 0u32;
         let mut answered = false;
         for a in 0..attempts {
             if dead_streak >= PERSISTENT_FAILURE_CUTOFF {
+                self.metrics.abandoned.inc();
                 break;
             }
             // Alternate between this week and the previous one (clamped to

@@ -11,11 +11,21 @@
 use ixp_cert::CrawlSim;
 use ixp_dns::{DnsDb, ResolverPool};
 use ixp_netmodel::{InternetModel, Week};
+use ixp_obs::Obs;
 use ixp_traffic::{MixConfig, WeekStream};
 
 use crate::census::ServerCensus;
 use crate::scan::{IngestHealth, WeekScan};
 use crate::snapshot::WeeklySnapshot;
+
+/// Registry name of one pipeline stage's duration histogram
+/// (`core_stage_duration_ns{stage="..."}`). Exposed so orchestration code
+/// outside this crate (the `repro` harness, benches) can time its own
+/// stages — longitudinal churn, clustering, visibility tables — into the
+/// same family.
+pub fn stage_metric(stage: &str) -> String {
+    format!("core_stage_duration_ns{{stage=\"{stage}\"}}")
+}
 
 /// The result of analysing one week.
 #[derive(Debug)]
@@ -59,17 +69,33 @@ pub struct Analyzer<'m> {
     pub resolvers: ResolverPool,
     /// Traffic mix used when regenerating the feed.
     pub mix: MixConfig,
+    /// The observability bundle every stage publishes into: per-week scans
+    /// (`sflow_*`/`wire_*`), the crawler and resolver pool (`cert_*`/
+    /// `dns_*`), and the pipeline's own stage timings
+    /// (`core_stage_duration_ns{stage="..."}`).
+    pub obs: Obs,
 }
 
 impl<'m> Analyzer<'m> {
-    /// Build the instruments for a model.
+    /// Build the instruments for a model, with a deterministic (frozen
+    /// test clock) observability bundle.
     pub fn new(model: &'m InternetModel) -> Analyzer<'m> {
+        Analyzer::with_obs(model, Obs::deterministic())
+    }
+
+    /// Build the instruments for a model, publishing metrics into `obs`.
+    pub fn with_obs(model: &'m InternetModel, obs: Obs) -> Analyzer<'m> {
+        let mut crawl = CrawlSim::build(model, model.seed);
+        crawl.bind_obs(&obs);
+        let mut resolvers = ResolverPool::build(model, model.seed);
+        resolvers.bind_obs(&obs);
         Analyzer {
             model,
             dns: DnsDb::build(model),
-            crawl: CrawlSim::build(model, model.seed),
-            resolvers: ResolverPool::build(model, model.seed),
+            crawl,
+            resolvers,
             mix: MixConfig::default(),
+            obs,
         }
     }
 
@@ -92,18 +118,24 @@ impl<'m> Analyzer<'m> {
         I: Iterator<Item = Vec<u8>>,
     {
         let members = self.model.registry.members_at(week).len() as u32;
-        let mut scan = WeekScan::new(week, members);
-        for datagram in feed {
-            scan.ingest(&datagram);
-        }
+        let mut scan = WeekScan::with_obs(week, members, &self.obs);
+        self.obs.time(&stage_metric("scan"), || {
+            for datagram in feed {
+                scan.ingest(&datagram);
+            }
+        });
         scan
     }
 
     /// Finish the weekly pipeline from a completed scan: identify →
     /// aggregate → health.
     pub fn report_from_scan(&self, scan: WeekScan) -> WeeklyReport {
-        let census = ServerCensus::identify(&scan, self.model, &self.dns, &self.crawl);
-        let snapshot = WeeklySnapshot::build(&scan, &census, self.model);
+        let census = self.obs.time(&stage_metric("census"), || {
+            ServerCensus::identify(&scan, self.model, &self.dns, &self.crawl)
+        });
+        let snapshot = self.obs.time(&stage_metric("snapshot"), || {
+            WeeklySnapshot::build(&scan, &census, self.model)
+        });
         WeeklyReport { snapshot, census, health: scan.ingest_health() }
     }
 

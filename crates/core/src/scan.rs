@@ -10,10 +10,11 @@ use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 use ixp_netmodel::{MemberId, Week};
+use ixp_obs::Obs;
 use ixp_sflow::collector::{Collector, CollectorStats, Ingest};
 use ixp_sflow::{DecodeErrorCounts, TrafficEstimate};
 use ixp_wire::dissect::{Dissection, Network, Transport};
-use ixp_wire::EthernetAddress;
+use ixp_wire::{DissectMetrics, EthernetAddress};
 
 use crate::http::{self, HttpEvidence};
 
@@ -235,6 +236,9 @@ pub struct WeekScan {
     /// The fault-tolerant collector front-end: sequence accounting,
     /// duplicate suppression, restart detection, per-kind decode errors.
     collector: Collector,
+    /// Live frame-dissection outcome counters (`wire_*` families;
+    /// detached unless built by [`WeekScan::with_obs`]).
+    dissect: DissectMetrics,
     /// Number of member ports active this week (MACs above this id are not
     /// members yet and their frames are classified as non-member traffic).
     member_count: u32,
@@ -251,7 +255,19 @@ impl WeekScan {
             domains: DomainTable::default(),
             undissectable: 0,
             collector: Collector::new(),
+            dissect: DissectMetrics::detached(),
             member_count,
+        }
+    }
+
+    /// Like [`WeekScan::new`], but publishing live metrics: the collector's
+    /// `sflow_*` accounting and the dissector's `wire_*` outcome counters
+    /// land in the bundle's registry as the scan runs.
+    pub fn with_obs(week: Week, member_count: u32, obs: &Obs) -> WeekScan {
+        WeekScan {
+            collector: Collector::with_obs(obs),
+            dissect: DissectMetrics::register(&obs.registry),
+            ..WeekScan::new(week, member_count)
         }
     }
 
@@ -273,7 +289,9 @@ impl WeekScan {
 
     /// Feed one raw sample (rate, claimed wire length, snippet).
     pub fn ingest_sample(&mut self, rate: u32, frame_len: u32, snippet: &[u8]) {
-        let d = match Dissection::parse(snippet) {
+        let parsed = Dissection::parse(snippet);
+        self.dissect.record(&parsed);
+        let d = match parsed {
             Ok(d) => d,
             Err(_) => {
                 self.undissectable += 1;

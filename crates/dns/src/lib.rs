@@ -29,4 +29,4 @@ pub mod resolvers;
 
 pub use db::{DnsDb, SoaIdentity};
 pub use names::hostname_for;
-pub use resolvers::{ResolveOutcome, Resolver, ResolverPool};
+pub use resolvers::{ResolveOutcome, Resolver, ResolverMetrics, ResolverPool};

@@ -29,6 +29,7 @@ use std::net::Ipv4Addr;
 
 use ixp_faults::{retry_with_backoff, AttemptLog, Quarantine, RetryPolicy};
 use ixp_netmodel::{Asn, InternetModel, OrgId, Week};
+use ixp_obs::{Counter, Obs};
 
 /// Probability that one query round times out transiently (retryable).
 const RESOLVER_TIMEOUT_RATE: f64 = 0.10;
@@ -74,6 +75,40 @@ pub struct ResolveOutcome {
     pub failovers: u32,
 }
 
+/// Live query metrics for the retry/failover path (`dns_*` families).
+/// Detached (counting into thin air) until [`ResolverPool::bind_obs`]
+/// attaches the pool to a registry.
+#[derive(Debug, Clone, Default)]
+pub struct ResolverMetrics {
+    /// Queries issued through [`ResolverPool::resolve_with_retry`].
+    pub queries: Counter,
+    /// Individual attempt rounds across all slots tried.
+    pub attempts: Counter,
+    /// Slots skipped (quarantined) or abandoned (budget exhausted).
+    pub failovers: Counter,
+    /// Failovers that were quarantine skips specifically.
+    pub quarantine_skips: Counter,
+    /// Queries whose simulated deadline ran out on some slot.
+    pub exhausted: Counter,
+    /// Queries no slot ever answered.
+    pub unanswered: Counter,
+}
+
+impl ResolverMetrics {
+    /// Register the bundle's counters in the bundle's registry.
+    fn register(obs: &Obs) -> ResolverMetrics {
+        let r = &obs.registry;
+        ResolverMetrics {
+            queries: r.counter("dns_queries_total"),
+            attempts: r.counter("dns_attempts_total"),
+            failovers: r.counter("dns_failovers_total"),
+            quarantine_skips: r.counter("dns_quarantine_skips_total"),
+            exhausted: r.counter("dns_exhausted_deadline_total"),
+            unanswered: r.counter("dns_unanswered_total"),
+        }
+    }
+}
+
 /// The vetted resolver pool plus the org/AS server indexes needed to answer
 /// region-aware queries.
 #[derive(Debug)]
@@ -90,6 +125,8 @@ pub struct ResolverPool {
     policy: RetryPolicy,
     /// Seed for the deterministic transient-timeout coin.
     seed: u64,
+    /// Live query metrics (detached until [`ResolverPool::bind_obs`]).
+    metrics: ResolverMetrics,
 }
 
 impl ResolverPool {
@@ -152,7 +189,20 @@ impl ResolverPool {
             domain_owner,
             policy: RetryPolicy::default(),
             seed,
+            metrics: ResolverMetrics::default(),
         }
+    }
+
+    /// Publish this pool's query metrics into an observability bundle's
+    /// registry (`dns_*` counter families).
+    pub fn bind_obs(&mut self, obs: &Obs) {
+        self.metrics = ResolverMetrics::register(obs);
+    }
+
+    /// The live query metrics (detached unless [`ResolverPool::bind_obs`]
+    /// was called).
+    pub fn metrics(&self) -> &ResolverMetrics {
+        &self.metrics
     }
 
     /// All candidates (pre-vetting).
@@ -254,6 +304,27 @@ impl ResolverPool {
         week: Week,
         quarantine: &Quarantine<usize>,
     ) -> ResolveOutcome {
+        let outcome = self.resolve_with_retry_inner(model, domain, k, week, quarantine);
+        self.metrics.queries.inc();
+        self.metrics.attempts.add(u64::from(outcome.log.attempts));
+        self.metrics.failovers.add(u64::from(outcome.failovers));
+        if outcome.log.exhausted_deadline {
+            self.metrics.exhausted.inc();
+        }
+        if outcome.resolver.is_none() {
+            self.metrics.unanswered.inc();
+        }
+        outcome
+    }
+
+    fn resolve_with_retry_inner(
+        &self,
+        model: &InternetModel,
+        domain: &str,
+        k: usize,
+        week: Week,
+        quarantine: &Quarantine<usize>,
+    ) -> ResolveOutcome {
         let mut outcome = ResolveOutcome::default();
         if self.usable.is_empty() {
             return outcome;
@@ -263,6 +334,7 @@ impl ResolverPool {
             let slot = (k + f) % n;
             if quarantine.is_quarantined(&slot) {
                 outcome.failovers += 1;
+                self.metrics.quarantine_skips.inc();
                 continue;
             }
             let (result, log) = retry_with_backoff(self.policy, |round| {

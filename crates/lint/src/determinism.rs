@@ -17,6 +17,14 @@
 //!
 //! Scope: the report/serialization modules of `ixp-core` (`report.rs`,
 //! `snapshot.rs`, `bias.rs`) and all of `ixp-faults`.
+//!
+//! A fourth rule, `obs-clock-boundary`, extends the ambient-time ban to
+//! **every** crate `src/` tree: since `ixp-obs` made time injectable, the
+//! only legitimate `Instant::now`/`SystemTime::now` site in the workspace
+//! is `RealClock` in `crates/obs/src/clock.rs`. Everything else takes a
+//! `&dyn Clock` (or an `Obs` bundle), so instrumented runs stay
+//! byte-reproducible under `TestClock`. Files already in the strict L7
+//! scope keep reporting `ambient-time` instead (one decision, one rule).
 
 use crate::lexer::{Kind, Lexed};
 use crate::Finding;
@@ -29,12 +37,23 @@ pub(crate) fn l7_applies(path: &str) -> bool {
         || path.starts_with("crates/faults/src/")
 }
 
+/// Files held to the clock-injection boundary: every `src/` tree except
+/// the one sanctioned real-clock site, minus the strict-L7 files (those
+/// already report the stronger `ambient-time`).
+pub(crate) fn obs_clock_applies(path: &str) -> bool {
+    crate::rules::l4_applies(path)
+        && path != "crates/obs/src/clock.rs"
+        && !l7_applies(path)
+}
+
 /// Ambient entropy sources.
 const RANDOM_SOURCES: &[&str] = &["thread_rng", "from_entropy", "OsRng", "random"];
 
 /// Run the pass over one lexed file.
 pub fn check(path: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
-    if !l7_applies(path) {
+    let l7 = l7_applies(path);
+    let clock_boundary = obs_clock_applies(path);
+    if !(l7 || clock_boundary) {
         return;
     }
     let toks = &lexed.tokens;
@@ -47,7 +66,7 @@ pub fn check(path: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
         match &t.kind {
             Kind::Ident(id) if id == "use" => in_use = true,
             Kind::Punct(';') => in_use = false,
-            Kind::Ident(id) if id == "HashMap" || id == "HashSet" => {
+            Kind::Ident(id) if l7 && (id == "HashMap" || id == "HashSet") => {
                 // The `use` line falls with the last mention; flagging it
                 // too would double-count one decision.
                 if !in_use {
@@ -71,19 +90,33 @@ pub fn check(path: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
                         Some(Kind::Ident(m)) if m == "now"
                     );
                 if now_next {
-                    out.push(Finding::at(
-                        path,
-                        t.line,
-                        t.col,
-                        "ambient-time",
-                        &format!(
-                            "`{id}::now()` in a deterministic path; wall-clock reads break \
-                             replay — take timestamps as input data"
-                        ),
-                    ));
+                    if l7 {
+                        out.push(Finding::at(
+                            path,
+                            t.line,
+                            t.col,
+                            "ambient-time",
+                            &format!(
+                                "`{id}::now()` in a deterministic path; wall-clock reads break \
+                                 replay — take timestamps as input data"
+                            ),
+                        ));
+                    } else {
+                        out.push(Finding::at(
+                            path,
+                            t.line,
+                            t.col,
+                            "obs-clock-boundary",
+                            &format!(
+                                "`{id}::now()` outside ixp-obs's RealClock; read time through \
+                                 an injected `ixp_obs::Clock` so instrumented runs stay \
+                                 reproducible"
+                            ),
+                        ));
+                    }
                 }
             }
-            Kind::Ident(id) if RANDOM_SOURCES.contains(&id.as_str()) => {
+            Kind::Ident(id) if l7 && RANDOM_SOURCES.contains(&id.as_str()) => {
                 // `random` only as a call (`random()`), to spare variables
                 // merely named `random`.
                 let is_call = id != "random"
@@ -145,6 +178,28 @@ mod tests {
     fn seeded_rng_and_duration_are_clean() {
         let src = "fn f(seed: u64) {\n    let rng = SmallRng::seed_from_u64(seed);\n    let d = SystemTime::UNIX_EPOCH;\n}\n";
         assert!(run("crates/faults/src/plan.rs", src).is_empty());
+    }
+
+    #[test]
+    fn clock_boundary_covers_every_src_tree() {
+        let src = "fn f() { let t = std::time::Instant::now(); }";
+        assert_eq!(run("crates/core/src/scan.rs", src), vec![(1, "obs-clock-boundary")]);
+        assert_eq!(run("crates/obs/src/span.rs", src), vec![(1, "obs-clock-boundary")]);
+        assert_eq!(run("src/lib.rs", src), vec![(1, "obs-clock-boundary")]);
+        // Outside any src tree (benches, examples) the rule is silent.
+        assert!(run("crates/bench/benches/pipeline.rs", src).is_empty());
+    }
+
+    #[test]
+    fn real_clock_site_is_exempt_and_hash_rules_stay_scoped() {
+        let src = "fn f() { RealClock { origin: Instant::now() } }";
+        assert!(run("crates/obs/src/clock.rs", src).is_empty());
+        // The strict-L7 rules do not leak into the broader clock scope.
+        let other = "fn g(m: &HashMap<u8, u8>) { let r = rand::thread_rng(); }";
+        assert!(run("crates/core/src/scan.rs", other).is_empty());
+        // Strict-L7 files keep reporting ambient-time, not the boundary rule.
+        let timed = "fn h() { let t = SystemTime::now(); }";
+        assert_eq!(run("crates/faults/src/plan.rs", timed), vec![(1, "ambient-time")]);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! | `panic-path`    | L5     | `pub fn`s of stream-facing crates (whole-workspace call graph) |
 //! | `tainted-capacity`, `tainted-arith`, `tainted-slice-len` | L6 | stream-facing crates |
 //! | `hash-iter-order`, `ambient-time`, `ambient-random` | L7 | `core::{report, snapshot, bias}`, `ixp-faults` |
+//! | `obs-clock-boundary` | L7 | every crate `src/` tree except `obs/src/clock.rs` |
 //!
 //! Test code (`#[cfg(test)]` items) is exempt from every family except L4.
 
@@ -188,6 +189,18 @@ pub const RULES: &[RuleInfo] = &[
                   the seeded generator carried in the plan.",
     },
     RuleInfo {
+        id: "obs-clock-boundary",
+        family: "L7",
+        severity: "error",
+        summary: "Instant/SystemTime reads only inside ixp-obs's RealClock",
+        explain: "All instrumentation timing flows through the injectable \
+                  ixp_obs::Clock trait so metric snapshots stay reproducible \
+                  under TestClock (DESIGN.md §10). The single permitted \
+                  `Instant::now()` site is RealClock in crates/obs/src/clock.rs; \
+                  every other module takes a `&dyn Clock` (or an `Obs` bundle) \
+                  and reads time through it.",
+    },
+    RuleInfo {
         id: "bad-directive",
         family: "meta",
         severity: "error",
@@ -216,6 +229,7 @@ pub const ALL_RULES: &[&str] = &[
     "hash-iter-order",
     "ambient-time",
     "ambient-random",
+    "obs-clock-boundary",
     "bad-directive",
 ];
 
@@ -226,8 +240,10 @@ pub const L1_RULES: &[&str] =
 /// The L6 family: wire-taint overflow analysis.
 pub const L6_RULES: &[&str] = &["tainted-capacity", "tainted-arith", "tainted-slice-len"];
 
-/// The L7 family: determinism of output and replay paths.
-pub const L7_RULES: &[&str] = &["hash-iter-order", "ambient-time", "ambient-random"];
+/// The L7 family: determinism of output and replay paths, plus the
+/// workspace-wide clock-injection boundary of `ixp-obs`.
+pub const L7_RULES: &[&str] =
+    &["hash-iter-order", "ambient-time", "ambient-random", "obs-clock-boundary"];
 
 /// Registry lookup by rule id.
 pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
@@ -274,8 +290,9 @@ fn l3_applies(path: &str) -> bool {
 }
 
 /// L4 scope: any `src/` tree (root package or a workspace crate). Excludes
-/// tests, examples, benches and fixture trees.
-fn l4_applies(path: &str) -> bool {
+/// tests, examples, benches and fixture trees. Shared with the L7
+/// `obs-clock-boundary` rule, which polices the same set of files.
+pub(crate) fn l4_applies(path: &str) -> bool {
     let mut parts = path.split('/');
     match parts.next() {
         Some("src") => true,
@@ -680,7 +697,7 @@ mod tests { pub enum TestError { X } }
     fn aliases_resolve() {
         assert_eq!(resolve_rule("l1").map(|v| v.len()), Some(5));
         assert_eq!(resolve_rule("l6").map(|v| v.len()), Some(3));
-        assert_eq!(resolve_rule("l7").map(|v| v.len()), Some(3));
+        assert_eq!(resolve_rule("l7").map(|v| v.len()), Some(4));
         assert_eq!(resolve_rule("no-index"), Some(vec!["no-index"]));
         assert_eq!(resolve_rule("panic-path"), Some(vec!["panic-path"]));
         assert_eq!(resolve_rule("nope"), None);

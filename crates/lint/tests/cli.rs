@@ -35,8 +35,9 @@ fn violations_tree_exits_one_with_findings_on_stdout() {
     assert!(stdout.contains("crates/wire/src/l5.rs:6: panic-path: "));
     assert!(stdout.contains("crates/sflow/src/taint.rs:5: tainted-capacity: "));
     assert!(stdout.contains("crates/faults/src/clock.rs:4: ambient-time: "));
+    assert!(stdout.contains("crates/core/src/timing.rs:3: obs-clock-boundary: "));
     let stderr = String::from_utf8(out.stderr).unwrap();
-    assert!(stderr.contains("16 violation(s)"), "stderr was: {stderr}");
+    assert!(stderr.contains("17 violation(s)"), "stderr was: {stderr}");
 }
 
 #[test]
@@ -48,7 +49,7 @@ fn json_format_emits_the_documented_schema() {
     let v = ixp_lint::json::parse(&stdout).expect("report must be valid JSON");
     assert_eq!(v.get("version").and_then(|s| s.as_u64()), Some(1));
     let findings = v.get("findings").and_then(|f| f.as_arr()).expect("findings array");
-    assert_eq!(v.get("summary").and_then(|s| s.get("total")).and_then(|t| t.as_u64()), Some(16));
+    assert_eq!(v.get("summary").and_then(|s| s.get("total")).and_then(|t| t.as_u64()), Some(17));
     let unwrap_finding = findings
         .iter()
         .find(|f| f.get("rule").and_then(|r| r.as_str()) == Some("no-unwrap"))

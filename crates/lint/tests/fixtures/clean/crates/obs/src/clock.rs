@@ -1,0 +1,4 @@
+// The one sanctioned real-clock site: RealClock may read Instant::now.
+pub fn origin() -> std::time::Instant {
+    std::time::Instant::now()
+}

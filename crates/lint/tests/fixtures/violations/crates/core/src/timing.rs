@@ -1,0 +1,4 @@
+// obs-clock-boundary: ambient time outside ixp-obs's RealClock.
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

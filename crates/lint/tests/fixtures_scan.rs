@@ -16,6 +16,7 @@ fn violations_tree_reports_every_rule_exactly() {
     let expected: Vec<(String, u32, &str)> = [
         ("crates/badcrate/src/lib.rs", 1, "error-impl"),
         ("crates/core/src/report.rs", 5, "hash-iter-order"),
+        ("crates/core/src/timing.rs", 3, "obs-clock-boundary"),
         ("crates/core/src/visibility.rs", 2, "no-float-eq"),
         ("crates/faults/src/clock.rs", 4, "ambient-time"),
         ("crates/faults/src/clock.rs", 5, "ambient-random"),

@@ -1,0 +1,122 @@
+//! Prometheus text exposition of a metrics [`Snapshot`].
+//!
+//! Emits the version 0.0.4 text format: one `# TYPE` line per family,
+//! then one sample line per series. Histograms expand into cumulative
+//! `_bucket{le="..."}` series plus `_sum` and `_count`, with any series
+//! labels merged ahead of `le`. Values are integers (durations are
+//! exported in nanoseconds, as the `_ns` suffix advertises), so the
+//! exposition is byte-stable for equal snapshots.
+
+use std::collections::BTreeSet;
+
+use crate::metrics::{split_name, MetricValue, Snapshot};
+
+fn sample_line(out: &mut String, family: &str, suffix: &str, labels: &[String], value: u64) {
+    out.push_str(family);
+    out.push_str(suffix);
+    if !labels.is_empty() {
+        out.push('{');
+        out.push_str(&labels.join(","));
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(&value.to_string());
+    out.push('\n');
+}
+
+/// Render the snapshot in Prometheus text exposition format.
+pub fn render(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut typed: BTreeSet<String> = BTreeSet::new();
+    for (name, value) in &snapshot.entries {
+        let (family, label_block) = split_name(name);
+        let base_labels: Vec<String> = match label_block {
+            Some(block) if !block.is_empty() => vec![block.to_string()],
+            _ => Vec::new(),
+        };
+        let kind = match value {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        };
+        if typed.insert(family.to_string()) {
+            out.push_str(&format!("# TYPE {family} {kind}\n"));
+        }
+        match value {
+            MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                sample_line(&mut out, family, "", &base_labels, *v);
+            }
+            MetricValue::Histogram(h) => {
+                let mut cum = 0u64;
+                for (i, c) in h.counts.iter().enumerate() {
+                    cum = cum.saturating_add(*c);
+                    let le = match h.bounds.get(i) {
+                        Some(b) => format!("le=\"{b}\""),
+                        None => "le=\"+Inf\"".to_string(),
+                    };
+                    let mut labels = base_labels.clone();
+                    labels.push(le);
+                    sample_line(&mut out, family, "_bucket", &labels, cum);
+                }
+                sample_line(&mut out, family, "_sum", &base_labels, h.sum);
+                sample_line(&mut out, family, "_count", &base_labels, h.count);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn scalar_exposition() {
+        let r = Registry::new();
+        r.counter("wire_frames_total").add(7);
+        r.gauge("sflow_sources").set(2);
+        let text = render(&r.snapshot());
+        assert!(text.contains("# TYPE wire_frames_total counter\n"));
+        assert!(text.contains("wire_frames_total 7\n"));
+        assert!(text.contains("# TYPE sflow_sources gauge\n"));
+        assert!(text.contains("sflow_sources 2\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_with_merged_labels() {
+        let r = Registry::new();
+        let h = r.histogram("core_stage_duration_ns{stage=\"scan\"}", &[10, 100]);
+        h.observe(5);
+        h.observe(7);
+        h.observe(50);
+        h.observe(5000);
+        let text = render(&r.snapshot());
+        assert!(text.contains("# TYPE core_stage_duration_ns histogram\n"));
+        assert!(text.contains("core_stage_duration_ns_bucket{stage=\"scan\",le=\"10\"} 2\n"));
+        assert!(text.contains("core_stage_duration_ns_bucket{stage=\"scan\",le=\"100\"} 3\n"));
+        assert!(text.contains("core_stage_duration_ns_bucket{stage=\"scan\",le=\"+Inf\"} 4\n"));
+        assert!(text.contains("core_stage_duration_ns_sum{stage=\"scan\"} 5062\n"));
+        assert!(text.contains("core_stage_duration_ns_count{stage=\"scan\"} 4\n"));
+    }
+
+    #[test]
+    fn type_line_emitted_once_per_family() {
+        let r = Registry::new();
+        r.duration_histogram("stage_ns{stage=\"a\"}").observe(1);
+        r.duration_histogram("stage_ns{stage=\"b\"}").observe(1);
+        let text = render(&r.snapshot());
+        assert_eq!(text.matches("# TYPE stage_ns histogram").count(), 1);
+    }
+
+    #[test]
+    fn exposition_is_deterministic() {
+        let build = || {
+            let r = Registry::new();
+            r.counter("z_total").inc();
+            r.counter("a_total").add(3);
+            render(&r.snapshot())
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -28,13 +28,22 @@
 
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+use ixp_obs::{test_clock, Clock, Obs, Stopwatch};
 
 use crate::accounting::TrafficEstimate;
 use crate::datagram::{CounterSample, Datagram, DecodeError};
+use crate::metrics::CollectorMetrics;
 
 /// Sequence regressions up to this distance are treated as reordering; a
 /// regression beyond it is a restart. 128 matches the sliding-window width.
 const REORDER_WINDOW: u32 = 128;
+
+/// Ingest latency is sampled into `sflow_ingest_duration_ns` once every
+/// this many datagrams, so instrumentation costs one atomic add — not two
+/// clock reads — on the typical hot-path iteration.
+pub const LATENCY_SAMPLE_EVERY: u64 = 64;
 
 /// Forward distances below 2³¹ are forward jumps; at or above, the
 /// wrapping difference is really a regression.
@@ -217,25 +226,84 @@ pub enum Ingest {
     Rejected(DecodeError),
 }
 
+/// Running aggregate over all sources, maintained incrementally at each
+/// ingest so [`Collector::stats`] is O(1) instead of a walk over every
+/// source (the stats walk used to be recomputed per datagram by callers
+/// polling health mid-run).
+#[derive(Debug, Clone, Copy, Default)]
+struct AggTotals {
+    accepted: u64,
+    duplicates: u64,
+    lost: u64,
+    restarts: u64,
+    quarantined: u64,
+}
+
 /// The per-source sequence-accounting collector. See the module docs.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Collector {
     sources: HashMap<SourceKey, SourceState>,
     counters: HashMap<(Ipv4Addr, u32), CounterTrack>,
     datagrams: u64,
     errors: DecodeErrorCounts,
     unattributed_errors: u64,
+    agg: AggTotals,
+    metrics: CollectorMetrics,
+    clock: Arc<dyn Clock>,
+}
+
+impl Default for Collector {
+    fn default() -> Collector {
+        Collector {
+            sources: HashMap::new(),
+            counters: HashMap::new(),
+            datagrams: 0,
+            errors: DecodeErrorCounts::default(),
+            unattributed_errors: 0,
+            agg: AggTotals::default(),
+            metrics: CollectorMetrics::detached(),
+            clock: test_clock(),
+        }
+    }
 }
 
 impl Collector {
-    /// A fresh collector.
+    /// A fresh collector with detached (unregistered) metrics and a
+    /// frozen test clock: the uninstrumented configuration.
     pub fn new() -> Collector {
         Collector::default()
+    }
+
+    /// A collector publishing live `sflow_*` metrics into the bundle's
+    /// registry and timing sampled ingests against its clock.
+    pub fn with_obs(obs: &Obs) -> Collector {
+        Collector {
+            metrics: CollectorMetrics::register(&obs.registry),
+            clock: Arc::clone(&obs.clock),
+            ..Collector::default()
+        }
+    }
+
+    /// The live metrics bundle (detached unless built by
+    /// [`Collector::with_obs`]).
+    pub fn metrics(&self) -> &CollectorMetrics {
+        &self.metrics
     }
 
     /// Ingest one encoded datagram. Never panics, never silently drops:
     /// the outcome is always counted.
     pub fn ingest(&mut self, bytes: &[u8]) -> Ingest {
+        let sampled = self.datagrams.is_multiple_of(LATENCY_SAMPLE_EVERY);
+        let sw = if sampled { Some(Stopwatch::start(self.clock.as_ref())) } else { None };
+        let outcome = self.ingest_inner(bytes);
+        self.metrics.record(&outcome);
+        if let Some(sw) = sw {
+            sw.record(self.clock.as_ref(), &self.metrics.ingest_ns);
+        }
+        outcome
+    }
+
+    fn ingest_inner(&mut self, bytes: &[u8]) -> Ingest {
         self.datagrams += 1;
         let dg = match Datagram::decode(bytes) {
             Ok(dg) => dg,
@@ -246,11 +314,17 @@ impl Collector {
                         let src = self.sources.entry(key).or_insert_with(SourceState::new);
                         src.stats.decode_errors += 1;
                         src.error_run += 1;
-                        if src.error_run >= QUARANTINE_THRESHOLD {
+                        if src.error_run >= QUARANTINE_THRESHOLD && !src.stats.quarantined {
                             src.stats.quarantined = true;
+                            self.agg.quarantined += 1;
+                            self.metrics.quarantined_sources.set_max(self.agg.quarantined);
                         }
+                        self.publish_source_count();
                     }
-                    None => self.unattributed_errors += 1,
+                    None => {
+                        self.unattributed_errors += 1;
+                        self.metrics.unattributed.inc();
+                    }
                 }
                 return Ingest::Rejected(e);
             }
@@ -265,6 +339,8 @@ impl Collector {
             src.window = 1;
             src.last_uptime = dg.uptime_ms;
             src.stats.received += 1;
+            self.agg.accepted += 1;
+            self.publish_source_count();
             self.track_counters(&dg);
             return Ingest::Accepted(dg);
         }
@@ -272,6 +348,7 @@ impl Collector {
         let ahead = dg.sequence.wrapping_sub(src.last_seq);
         if ahead == 0 {
             src.stats.duplicates += 1;
+            self.agg.duplicates += 1;
             return Ingest::Duplicate;
         }
         if ahead < HALF_RANGE {
@@ -280,10 +357,16 @@ impl Collector {
                 // agent rebooted and its new sequence landed above the old
                 // one. Counting the jump as loss would be wildly wrong.
                 restart(src, &dg);
+                self.agg.restarts += 1;
+                self.agg.accepted += 1;
+                self.metrics.restarts.inc();
             } else {
                 // Forward jump of `ahead`: the `ahead − 1` sequence numbers
                 // in between are (so far) lost.
-                src.stats.lost += u64::from(ahead - 1);
+                let missing = u64::from(ahead - 1);
+                src.stats.lost += missing;
+                self.agg.lost += missing;
+                self.metrics.lost.add(missing);
                 src.window = if ahead >= REORDER_WINDOW {
                     1
                 } else {
@@ -292,6 +375,7 @@ impl Collector {
                 src.last_seq = dg.sequence;
                 src.last_uptime = dg.uptime_ms;
                 src.stats.received += 1;
+                self.agg.accepted += 1;
             }
             self.track_counters(&dg);
             return Ingest::Accepted(dg);
@@ -303,21 +387,42 @@ impl Collector {
             let bit = 1u128 << behind;
             if src.window & bit != 0 {
                 src.stats.duplicates += 1;
+                self.agg.duplicates += 1;
                 return Ingest::Duplicate;
             }
             // Late arrival: it was provisionally counted lost when the gap
             // opened; take it back. Counter records from out-of-order
             // datagrams are skipped — their cumulative values are stale.
+            // (A late arrival just after a restart may not have a
+            // provisional loss to take back; mirror the exact per-source
+            // correction into the aggregate so they never diverge.)
             src.window |= bit;
-            src.stats.lost = src.stats.lost.saturating_sub(1);
+            let before = src.stats.lost;
+            src.stats.lost = before.saturating_sub(1);
+            let corrected = before - src.stats.lost;
+            self.agg.lost = self.agg.lost.saturating_sub(corrected);
+            self.metrics.recovered.add(corrected);
             src.stats.received += 1;
+            self.agg.accepted += 1;
             return Ingest::Accepted(dg);
         }
 
         // Regression beyond any plausible reordering: sequence reset.
         restart(src, &dg);
+        self.agg.restarts += 1;
+        self.agg.accepted += 1;
+        self.metrics.restarts.inc();
         self.track_counters(&dg);
         Ingest::Accepted(dg)
+    }
+
+    /// Refresh the `sflow_sources` gauge after a possible insertion. The
+    /// gauge is a high-water mark (`set_max`): several per-week collectors
+    /// may share one registered gauge when a study runs in parallel, and a
+    /// running maximum is scheduling-independent where a plain store is
+    /// last-writer-wins.
+    fn publish_source_count(&self) {
+        self.metrics.sources.set_max(u64::try_from(self.sources.len()).unwrap_or(u64::MAX));
     }
 
     /// Accumulate wrap-safe deltas for the datagram's counter samples.
@@ -352,25 +457,21 @@ impl Collector {
         }
     }
 
-    /// Aggregate health across all sources.
+    /// Aggregate health across all sources. O(1): the totals are
+    /// maintained incrementally by [`Collector::ingest`], so callers can
+    /// poll health per datagram without a per-source walk.
     pub fn stats(&self) -> CollectorStats {
-        let mut s = CollectorStats {
+        CollectorStats {
             datagrams: self.datagrams,
+            accepted: self.agg.accepted,
+            duplicates: self.agg.duplicates,
+            lost: self.agg.lost,
+            restarts: self.agg.restarts,
             decode_errors: self.errors,
             unattributed_errors: self.unattributed_errors,
             sources: self.sources.len(),
-            ..CollectorStats::default()
-        };
-        for src in self.sources.values() {
-            s.accepted += src.stats.received;
-            s.duplicates += src.stats.duplicates;
-            s.lost += src.stats.lost;
-            s.restarts += src.stats.restarts;
-            if src.stats.quarantined {
-                s.quarantined_sources += 1;
-            }
+            quarantined_sources: usize::try_from(self.agg.quarantined).unwrap_or(usize::MAX),
         }
-        s
     }
 
     /// Health counters of one source, if it has been seen.
@@ -646,6 +747,79 @@ mod tests {
         assert_eq!(t.in_ucast, 898);
         assert_eq!(wrap_safe_delta32(u32::MAX - 10, 20), 31);
         assert_eq!(wrap_safe_delta64(u64::MAX, 0), 1);
+    }
+
+    #[test]
+    fn aggregate_stats_match_a_per_source_recomputation() {
+        let mut c = Collector::new();
+        // A messy multi-source stream: gaps, duplicates, late arrivals,
+        // restarts, attributed and unattributed garbage.
+        for seq in [1u32, 2, 5, 5, 3, 9_000, 1] {
+            c.ingest(&dg(0, seq));
+        }
+        c.ingest(&dg_up(1, 1_000, 4_000_000));
+        c.ingest(&dg_up(1, 9_000, 40)); // forward jump + uptime reset
+        let prefix: Vec<u8> = dg(2, 1).iter().copied().take(20).collect();
+        for _ in 0..QUARANTINE_THRESHOLD {
+            c.ingest(&prefix);
+        }
+        c.ingest(&[0u8; 3]);
+        let s = c.stats();
+        let mut accepted = 0;
+        let mut duplicates = 0;
+        let mut lost = 0;
+        let mut restarts = 0;
+        let mut quarantined = 0;
+        for (_, st) in c.sources() {
+            accepted += st.received;
+            duplicates += st.duplicates;
+            lost += st.lost;
+            restarts += st.restarts;
+            quarantined += usize::from(st.quarantined);
+        }
+        assert_eq!(s.accepted, accepted);
+        assert_eq!(s.duplicates, duplicates);
+        assert_eq!(s.lost, lost);
+        assert_eq!(s.restarts, restarts);
+        assert_eq!(s.quarantined_sources, quarantined);
+        assert_eq!(s.sources, 3);
+        assert_eq!(s.datagrams, s.accepted + s.duplicates + s.decode_errors.total());
+    }
+
+    #[test]
+    fn live_metrics_mirror_the_stats_report() {
+        let obs = ixp_obs::Obs::deterministic();
+        let mut c = Collector::with_obs(&obs);
+        for seq in [1u32, 2, 5, 5, 3] {
+            c.ingest(&dg(0, seq));
+        }
+        c.ingest(&[0u8; 3]);
+        let s = c.stats();
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("sflow_datagrams_total"), Some(s.datagrams));
+        assert_eq!(snap.counter("sflow_accepted_total"), Some(s.accepted));
+        assert_eq!(snap.counter("sflow_duplicates_total"), Some(s.duplicates));
+        assert_eq!(snap.counter("sflow_restarts_total"), Some(s.restarts));
+        // Net loss = gaps opened − late arrivals recovered.
+        let opened = snap.counter("sflow_seq_lost_total").unwrap_or(0);
+        let recovered = snap.counter("sflow_seq_recovered_total").unwrap_or(0);
+        assert_eq!(opened, 2); // seqs 3 and 4 provisionally lost
+        assert_eq!(recovered, 1); // seq 3 arrived late
+        assert_eq!(s.lost, opened - recovered);
+        assert_eq!(
+            snap.counter("sflow_decode_errors_total{kind=\"truncated\"}"),
+            Some(s.decode_errors.truncated)
+        );
+        assert_eq!(snap.counter("sflow_unattributed_errors_total"), Some(1));
+        match snap.get("sflow_sources") {
+            Some(ixp_obs::MetricValue::Gauge(n)) => assert_eq!(*n, 1),
+            other => panic!("unexpected sflow_sources entry: {other:?}"),
+        }
+        // The sampled latency histogram saw at least the first ingest.
+        match snap.get("sflow_ingest_duration_ns") {
+            Some(ixp_obs::MetricValue::Histogram(h)) => assert!(h.count >= 1),
+            other => panic!("unexpected latency entry: {other:?}"),
+        }
     }
 
     #[test]

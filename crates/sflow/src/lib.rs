@@ -34,12 +34,14 @@
 pub mod accounting;
 pub mod collector;
 pub mod datagram;
+pub mod metrics;
 pub mod sampler;
 
 pub mod xdr;
 
 pub use accounting::TrafficEstimate;
 pub use collector::{Collector, CollectorStats, CounterTotals, DecodeErrorCounts, Ingest, SourceKey, SourceStats};
+pub use metrics::CollectorMetrics;
 pub use datagram::{CounterSample, Datagram, DecodeError, FlowSample, RawPacketHeader, HEADER_PROTO_ETHERNET};
 pub use sampler::{Sampler, SamplerConfig, SNIPPET_LEN};
 

@@ -11,10 +11,15 @@ use ixp_vantage::core::analyzer::Analyzer;
 use ixp_vantage::core::report;
 use ixp_vantage::faults::{FaultConfig, FaultPlan};
 use ixp_vantage::netmodel::{InternetModel, ScaleConfig, Week};
+use ixp_vantage::obs::{prometheus, Obs};
 
 fn main() {
     let model = InternetModel::generate(ScaleConfig::tiny(), 2012);
-    let analyzer = Analyzer::new(&model);
+    // A deterministic obs bundle: the collector publishes its accounting
+    // as live metrics while it ingests, and the frozen test clock keeps
+    // the snapshot identical across runs.
+    let obs = Obs::deterministic();
+    let analyzer = Analyzer::with_obs(&model, obs.clone());
     let week = Week::REFERENCE;
 
     // The clean baseline: the pristine feed straight off the generator.
@@ -48,6 +53,17 @@ fn main() {
 
     println!();
     print!("{}", report::render_ingest_health(&degraded));
+
+    // The same accounting, as the live metrics the collector published
+    // while ingesting (Prometheus text exposition, sflow_* families).
+    // Both weeks ran through this registry, so the counters cover the
+    // clean baseline plus the degraded replay.
+    println!();
+    println!("collector metrics (prometheus exposition, sflow_* families):");
+    let exposition = prometheus::render(&obs.snapshot());
+    for line in exposition.lines().filter(|l| l.contains("sflow_")) {
+        println!("  {line}");
+    }
 
     println!();
     println!("headline statistics, clean vs degraded:");

@@ -8,6 +8,7 @@
 use ixp_vantage::core::analyzer::Analyzer;
 use ixp_vantage::core::{report, visibility};
 use ixp_vantage::netmodel::{InternetModel, ScaleConfig, Week};
+use ixp_vantage::obs::{MetricValue, Obs};
 
 fn main() {
     let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2012);
@@ -16,7 +17,8 @@ fn main() {
         _ => ScaleConfig::tiny(),
     };
     let model = InternetModel::generate(scale, seed);
-    let analyzer = Analyzer::new(&model);
+    let obs = Obs::deterministic();
+    let analyzer = Analyzer::with_obs(&model, obs.clone());
     let weekly = analyzer.run_week(Week::REFERENCE);
 
     print!("{}", report::render_table1(&weekly));
@@ -49,4 +51,20 @@ fn main() {
     println!("  ISP sees {} server IPs", isp.server_ips.len());
     println!("  {confirmed} of the IXP's {} servers confirmed by the ISP", weekly.census.len());
     println!("  {isp_only} ISP server IPs not seen at the IXP");
+
+    // What the pipeline observed about itself while producing the report:
+    // ingest accounting, crawler/resolver retries, stage timings. With the
+    // deterministic bundle the durations are zero by construction; run the
+    // repro harness with `--clock real` for wall-clock stage timings.
+    println!();
+    println!("observability snapshot (ixp-obs, {} metrics):", obs.snapshot().entries.len());
+    for (name, value) in &obs.snapshot().entries {
+        match value {
+            MetricValue::Counter(v) => println!("  {name} = {v}"),
+            MetricValue::Gauge(v) => println!("  {name} = {v} (gauge)"),
+            MetricValue::Histogram(h) => {
+                println!("  {name}: count {}, sum {} ns, p99 <= {} ns", h.count, h.sum, h.p99);
+            }
+        }
+    }
 }

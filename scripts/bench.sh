@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerate the BENCH_*.json performance baselines.
+#
+# BENCH_5.json — per-stage throughput + instrumentation overhead from the
+# self-profiling harness (crates/bench/src/bin/profile.rs). The profile
+# binary exits non-zero if ixp-obs instrumentation costs >= 5 % of the
+# detached ingest time, so this script doubles as the overhead gate.
+#
+# Scale defaults to `tiny` (seconds, noisy but directionally right);
+# export BENCH_SCALE=small for a slower, steadier baseline.
+set -eu
+cd "$(dirname "$0")/.."
+
+scale="${BENCH_SCALE:-tiny}"
+seed="${BENCH_SEED:-2012}"
+
+cargo build --release -p ixp-bench
+cargo run --release -q -p ixp-bench --bin profile -- \
+    --scale "$scale" --seed "$seed" --out BENCH_5.json
+echo "bench: BENCH_5.json regenerated (scale=$scale, seed=$seed)"

@@ -30,6 +30,20 @@ cargo run -q -p ixp-lint -- --format json > target/lint-report.json
 # above that the tree is clean.
 cargo test -q -p ixp-lint --test cli json_format_
 
+echo "==> metrics smoke test (snapshot determinism + schema)"
+# Two same-seed repro runs under the frozen test clock must export
+# byte-identical ixp-obs snapshots; the companion cargo test parses the
+# first one against the ixp-obs/1 schema and checks the metric families.
+cargo run -q --release -p ixp-bench --bin repro -- --scale tiny --exp E1 \
+    --metrics target/metrics-a.json >/dev/null 2>&1
+cargo run -q --release -p ixp-bench --bin repro -- --scale tiny --exp E1 \
+    --metrics target/metrics-b.json >/dev/null 2>&1
+cmp target/metrics-a.json target/metrics-b.json || {
+    echo "ci: metrics snapshots differ between same-seed runs" >&2
+    exit 1
+}
+cargo test -q --test metrics_smoke
+
 if cargo clippy --version >/dev/null 2>&1 && [ -z "${IXP_CI_OFFLINE:-}" ]; then
     echo "==> cargo clippy --workspace --all-targets"
     cargo clippy --workspace --all-targets -- -D warnings || {

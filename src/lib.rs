@@ -4,6 +4,7 @@ pub use ixp_core as core;
 pub use ixp_dns as dns;
 pub use ixp_faults as faults;
 pub use ixp_netmodel as netmodel;
+pub use ixp_obs as obs;
 pub use ixp_sflow as sflow;
 pub use ixp_traffic as traffic;
 pub use ixp_wire as wire;

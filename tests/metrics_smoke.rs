@@ -1,0 +1,72 @@
+//! Metrics smoke test (run by `scripts/ci.sh` after the repro harness has
+//! written `target/metrics-a.json`):
+//!
+//! * the exported snapshot parses against the `ixp-obs/1` JSON schema,
+//! * the required metric families are present,
+//! * an in-process deterministic pipeline run snapshots byte-identically
+//!   across two executions (the cross-process equivalent — two `repro`
+//!   invocations — is byte-compared by `cmp` in ci.sh itself).
+
+use ixp_vantage::core::analyzer::Analyzer;
+use ixp_vantage::netmodel::{InternetModel, ScaleConfig, Week};
+use ixp_vantage::obs::{json, Obs};
+
+/// Families every instrumented run must publish. `dns_*` counters exist
+/// from registration even when a run never exercises the resolver pool.
+const REQUIRED_FAMILIES: &[&str] = &[
+    "wire_frames_total",
+    "sflow_datagrams_total",
+    "sflow_accepted_total",
+    "sflow_ingest_duration_ns",
+    "core_stage_duration_ns",
+    "cert_fetches_total",
+    "dns_queries_total",
+];
+
+fn reference_snapshot_json() -> String {
+    let model = InternetModel::generate(ScaleConfig::tiny(), 2012);
+    let obs = Obs::deterministic();
+    let analyzer = Analyzer::with_obs(&model, obs.clone());
+    let _ = analyzer.run_week(Week::REFERENCE);
+    json::render(&obs.snapshot())
+}
+
+fn assert_families(doc: &str, source: &str) {
+    for family in REQUIRED_FAMILIES {
+        assert!(doc.contains(family), "family {family} missing from {source}");
+    }
+}
+
+#[test]
+fn snapshot_parses_and_contains_required_families() {
+    // Prefer the file a real repro run wrote (ci.sh); fall back to an
+    // in-process run so `cargo test` alone also exercises the check.
+    let (doc, source) = match std::fs::read_to_string("target/metrics-a.json") {
+        Ok(s) => (s, "target/metrics-a.json (repro run)"),
+        Err(_) => (reference_snapshot_json(), "in-process reference run"),
+    };
+    let parsed = json::parse(&doc).unwrap_or_else(|| panic!("{source}: snapshot does not parse"));
+    assert_eq!(
+        parsed.get("schema").and_then(|v| v.as_str()),
+        Some("ixp-obs/1"),
+        "{source}: wrong schema tag"
+    );
+    let metrics = parsed
+        .get("metrics")
+        .and_then(|v| v.as_arr())
+        .unwrap_or_else(|| panic!("{source}: metrics array missing"));
+    assert!(!metrics.is_empty(), "{source}: metrics array empty");
+    for m in metrics {
+        assert!(m.get("name").and_then(|v| v.as_str()).is_some(), "{source}: unnamed metric");
+        assert!(m.get("kind").and_then(|v| v.as_str()).is_some(), "{source}: kindless metric");
+    }
+    assert_families(&doc, source);
+}
+
+#[test]
+fn same_seed_runs_snapshot_byte_identically() {
+    let a = reference_snapshot_json();
+    let b = reference_snapshot_json();
+    assert_eq!(a, b, "deterministic runs must export identical snapshots");
+    assert_families(&a, "in-process reference run");
+}
