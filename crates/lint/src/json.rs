@@ -5,12 +5,15 @@
 //! parser rides along so tests — and the CI smoke check — can validate
 //! that emitted reports round-trip.
 //!
-//! # Schema (version 1)
+//! # Schema (version 2)
 //!
 //! ```json
 //! {
-//!   "version": 1,
+//!   "version": 2,
 //!   "tool": "ixp-lint",
+//!   "rules": [
+//!     { "id": "no-unwrap", "family": "L1", "severity": "error", "summary": "..." }
+//!   ],
 //!   "findings": [
 //!     {
 //!       "file": "crates/sflow/src/xdr.rs",
@@ -27,10 +30,16 @@
 //! }
 //! ```
 //!
-//! `findings` is sorted (file, line, rule); `column` is 1-based and 0
-//! when unknown; `family` is `L1`..`L7` or `meta`; `severity` is
+//! `rules` lists the full registry (every rule the linter ran, not just
+//! those that fired), so consumers can discover families and ids without
+//! parsing `--explain` output — the CI smoke check greps it for the L8
+//! ids. `findings` is sorted (file, line, rule); `column` is 1-based and
+//! 0 when unknown; `family` is `L1`..`L8` or `meta`; `severity` is
 //! currently always `error` (the field exists so future advisory rules
 //! do not need a schema bump).
+//!
+//! Version 2 added the `rules` array; everything else is unchanged from
+//! version 1.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -59,7 +68,22 @@ pub fn escape(s: &str) -> String {
 
 /// Render the full diagnostics report.
 pub fn report(findings: &[Finding], notes: &[String]) -> String {
-    let mut out = String::from("{\n  \"version\": 1,\n  \"tool\": \"ixp-lint\",\n  \"findings\": [");
+    let mut out = String::from("{\n  \"version\": 2,\n  \"tool\": \"ixp-lint\",\n  \"rules\": [");
+    for (i, r) in rules::RULES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"id\": \"{}\", \"family\": \"{}\", \"severity\": \"{}\", \
+             \"summary\": \"{}\"}}",
+            escape(r.id),
+            r.family,
+            r.severity,
+            escape(r.summary),
+        );
+    }
+    out.push_str("\n  ],\n  \"findings\": [");
     for (i, f) in findings.iter().enumerate() {
         let info = rules::rule_info(f.rule);
         let (family, severity) =
@@ -337,8 +361,14 @@ mod tests {
         let notes = vec!["a note".to_string()];
         let text = report(&findings, &notes);
         let v = parse(&text).unwrap();
-        assert_eq!(v.get("version").and_then(Value::as_u64), Some(1));
+        assert_eq!(v.get("version").and_then(Value::as_u64), Some(2));
         assert_eq!(v.get("tool").and_then(Value::as_str), Some("ixp-lint"));
+        let rules_arr = v.get("rules").and_then(Value::as_arr).unwrap();
+        assert_eq!(rules_arr.len(), crate::rules::RULES.len());
+        assert!(rules_arr.iter().any(|r| {
+            r.get("id").and_then(Value::as_str) == Some("lock-order-cycle")
+                && r.get("family").and_then(Value::as_str) == Some("L8")
+        }));
         let fs = v.get("findings").and_then(Value::as_arr).unwrap();
         assert_eq!(fs.len(), 2);
         assert_eq!(fs[0].get("line").and_then(Value::as_u64), Some(3));

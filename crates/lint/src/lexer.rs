@@ -143,9 +143,13 @@ pub fn lex(src: &str) -> Lexed {
                     }
                     j += 1;
                 }
+                // Strip the closing `*/` only when the comment actually
+                // terminated; an unterminated comment runs to EOF and its
+                // last two chars are ordinary text (possibly a directive's).
+                let text_end = if depth == 0 { j.saturating_sub(2) } else { j };
                 out.comments.push(Comment {
                     line: start_line,
-                    text: bytes[comment_line + 2..j.saturating_sub(2).max(comment_line + 2)]
+                    text: bytes[comment_line + 2..text_end.max(comment_line + 2)]
                         .iter()
                         .collect(),
                     own_line,
@@ -254,7 +258,15 @@ fn is_raw_or_byte_string(bytes: &[char], i: usize) -> bool {
 fn consume_string(bytes: &[char], mut i: usize, line: &mut u32) -> usize {
     while i < bytes.len() {
         match bytes[i] {
-            '\\' => i += 2,
+            '\\' => {
+                // An escaped newline (line continuation) still ends a
+                // source line; and a trailing backslash at EOF must not
+                // step past the buffer.
+                if bytes.get(i + 1) == Some(&'\n') {
+                    *line += 1;
+                }
+                i = (i + 2).min(bytes.len());
+            }
             '"' => return i + 1,
             '\n' => {
                 *line += 1;
@@ -305,7 +317,7 @@ fn consume_char_literal(bytes: &[char], mut i: usize) -> usize {
     // `i` points just after the opening quote (or at the backslash).
     while i < bytes.len() {
         match bytes[i] {
-            '\\' => i += 2,
+            '\\' => i = (i + 2).min(bytes.len()),
             '\'' => return i + 1,
             _ => i += 1,
         }
@@ -548,5 +560,69 @@ fn after() { z.unwrap(); }
         let toks = lex(src);
         assert!(toks.comments[0].own_line);
         assert!(!toks.comments[1].own_line);
+    }
+
+    #[test]
+    fn nested_block_comments_track_depth() {
+        let src = "/* outer /* inner */ still comment */ let x = 1;\n/* a /* b /* c */ */ */ let y = 2;";
+        let toks = lex(src);
+        assert_eq!(idents(src), vec!["let", "x", "let", "y"]);
+        assert!(toks.comments[0].text.contains("inner"));
+        assert!(toks.comments[0].text.contains("still comment"));
+        // Nothing inside the nesting leaks out as code.
+        assert!(!toks.tokens.iter().any(|t| matches!(&t.kind, Kind::Ident(s) if s == "b")));
+    }
+
+    #[test]
+    fn unterminated_block_comment_keeps_its_full_text() {
+        // The closing `*/` never arrives; the comment runs to EOF and the
+        // last two characters are real text — a directive there must
+        // survive (it used to be clipped).
+        let src = "/* ixp-lint: allow(no-index) ok";
+        let toks = lex(src);
+        assert_eq!(toks.comments.len(), 1);
+        assert!(toks.comments[0].text.ends_with("allow(no-index) ok"), "{:?}", toks.comments[0]);
+        assert!(toks.tokens.is_empty());
+    }
+
+    #[test]
+    fn raw_strings_with_hash_arities_and_embedded_quotes() {
+        let src = "let a = r##\"says \"#hello\"# here\"##; let b = br#\"bytes \"x\" too\"#; let c = 1;";
+        let toks = lex(src);
+        assert_eq!(idents(src), vec!["let", "a", "let", "b", "let", "c"]);
+        assert_eq!(toks.tokens.iter().filter(|t| t.kind == Kind::Str).count(), 2);
+    }
+
+    #[test]
+    fn raw_string_newlines_count_lines() {
+        let src = "let a = r#\"one\ntwo\nthree\"#;\nlet b = 1;";
+        let toks = lex(src);
+        let b_line = toks
+            .tokens
+            .iter()
+            .find(|t| matches!(&t.kind, Kind::Ident(s) if s == "b"))
+            .map(|t| t.line);
+        assert_eq!(b_line, Some(4));
+    }
+
+    #[test]
+    fn trailing_backslash_at_eof_does_not_panic() {
+        // Each used to drive the scan index past the buffer (an
+        // out-of-bounds slice in the line resync).
+        for src in ["let a = \"x\\", "let a = b\"x\\", "let c = '\\", "let c = b'\\"] {
+            let _ = lex(src);
+        }
+    }
+
+    #[test]
+    fn escaped_newline_in_string_counts_the_line() {
+        let src = "let a = \"one\\\ntwo\";\nlet b = 1;";
+        let toks = lex(src);
+        let b_line = toks
+            .tokens
+            .iter()
+            .find(|t| matches!(&t.kind, Kind::Ident(s) if s == "b"))
+            .map(|t| t.line);
+        assert_eq!(b_line, Some(3));
     }
 }

@@ -20,16 +20,21 @@
 //! // ixp-lint: allow-file(no-float-eq, "bit-exact golden values")
 //! ```
 //!
-//! Family aliases `l1`..`l7` expand to their rule groups.
+//! Family aliases `l1`..`l8` expand to their rule groups.
 //!
 //! Beyond the token-level rules, the linter parses every file into a
 //! lightweight item tree ([`parser`]), builds a workspace symbol table
-//! ([`symbols`]), and runs three semantic passes: panic-reachability over
+//! ([`symbols`]), and runs four semantic passes: panic-reachability over
 //! the call graph ([`callgraph`], L5), wire-taint overflow analysis
-//! ([`taint`], L6), and determinism checks ([`determinism`], L7).
+//! ([`taint`], L6), determinism checks ([`determinism`], L7), and
+//! concurrency-safety analysis ([`concurrency`], L8). The per-file
+//! lex/parse stage fans out over the vendored thread stand-ins; the
+//! semantic passes stay sequential, so output is byte-identical to a
+//! single-threaded run.
 
 pub mod baseline;
 pub mod callgraph;
+pub mod concurrency;
 pub mod determinism;
 pub mod json;
 pub mod lexer;
@@ -204,6 +209,74 @@ fn paren_args(args: &str) -> Option<&str> {
     Some(&rest[..close])
 }
 
+/// The outcome of the per-file stage (lex, directives, token rules, L4
+/// facts, determinism, parse) for one source file. Everything later
+/// passes need, computed independently of every other file — which is
+/// what lets the stage fan out across threads.
+struct PerFile {
+    path: String,
+    findings: Vec<Finding>,
+    allows: FileAllows,
+    l4: BTreeMap<String, rules::CrateErrorInfo>,
+    lexed: Lexed,
+    parsed: parser::ParsedFile,
+}
+
+/// Run every per-file pass over one source.
+fn analyze_file(path: String, src: &str) -> PerFile {
+    let mut findings = Vec::new();
+    let mut l4 = BTreeMap::new();
+    let lexed = lexer::lex(src);
+    let allows = parse_directives(&path, &lexed, &mut findings);
+    rules::check_tokens(&path, &lexed, &mut findings);
+    rules::collect_error_info(&path, &lexed, &mut l4);
+    determinism::check(&path, &lexed, &mut findings);
+    let parsed = parser::parse(&path, &lexed);
+    PerFile { path, findings, allows, l4, lexed, parsed }
+}
+
+/// Below this many files the thread fan-out costs more than it saves.
+const PARALLEL_THRESHOLD: usize = 4;
+
+/// Fan the per-file stage out over a scoped worker pool. Results land in
+/// index-keyed slots, so the returned order — and therefore every
+/// downstream pass — is identical to the sequential path.
+fn analyze_parallel(files: Vec<(String, String)>) -> Vec<PerFile> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+        .min(files.len());
+    if workers <= 1 || files.len() < PARALLEL_THRESHOLD {
+        return files.into_iter().map(|(p, s)| analyze_file(p, &s)).collect();
+    }
+    let (work_tx, work_rx) = crossbeam::channel::unbounded::<(usize, String, String)>();
+    let (done_tx, done_rx) = crossbeam::channel::unbounded::<(usize, PerFile)>();
+    let n = files.len();
+    for (i, (path, src)) in files.into_iter().enumerate() {
+        let _ = work_tx.send((i, path, src));
+    }
+    drop(work_tx);
+    let mut slots: Vec<Option<PerFile>> = Vec::new();
+    slots.resize_with(n, || None);
+    let _ = crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            let work_rx = work_rx.clone();
+            let done_tx = done_tx.clone();
+            scope.spawn(move |_| {
+                while let Ok((i, path, src)) = work_rx.recv() {
+                    let _ = done_tx.send((i, analyze_file(path, &src)));
+                }
+            });
+        }
+        drop(done_tx);
+        while let Ok((i, pf)) = done_rx.recv() {
+            slots[i] = Some(pf);
+        }
+    });
+    slots.into_iter().flatten().collect()
+}
+
 /// Lint a set of in-memory sources. `files` yields workspace-relative
 /// paths (forward slashes) and their contents. Findings come back sorted
 /// by file, line, rule.
@@ -212,26 +285,29 @@ where
     I: IntoIterator<Item = (String, String)>,
 {
     let mut findings = Vec::new();
-    let mut l4_map = BTreeMap::new();
+    let mut l4_map: BTreeMap<String, rules::CrateErrorInfo> = BTreeMap::new();
     let mut allows: HashMap<String, FileAllows> = HashMap::new();
     let mut lexed_files = Vec::new();
     let mut parsed_files = Vec::new();
 
-    for (path, src) in files {
-        let lexed = lexer::lex(&src);
-        let fa = parse_directives(&path, &lexed, &mut findings);
-        rules::check_tokens(&path, &lexed, &mut findings);
-        rules::collect_error_info(&path, &lexed, &mut l4_map);
-        determinism::check(&path, &lexed, &mut findings);
-        parsed_files.push(parser::parse(&path, &lexed));
-        lexed_files.push(lexed);
-        allows.insert(path, fa);
+    for pf in analyze_parallel(files.into_iter().collect()) {
+        findings.extend(pf.findings);
+        for (group, info) in pf.l4 {
+            let entry = l4_map.entry(group).or_default();
+            entry.error_enums.extend(info.error_enums);
+            entry.display_impls.extend(info.display_impls);
+            entry.error_impls.extend(info.error_impls);
+        }
+        parsed_files.push(pf.parsed);
+        lexed_files.push(pf.lexed);
+        allows.insert(pf.path, pf.allows);
     }
     rules::finalize_error_impl(&l4_map, &mut findings);
 
     let table = symbols::SymbolTable::build(&parsed_files);
     callgraph::check(&parsed_files, &table, &allows, &mut findings);
     taint::check(&parsed_files, &lexed_files, &table, &mut findings);
+    concurrency::check(&parsed_files, &lexed_files, &table, &mut findings);
 
     findings.retain(|f| {
         f.rule == "bad-directive"
@@ -271,6 +347,16 @@ fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()>
 pub fn scan_workspace(root: &Path) -> io::Result<Vec<Finding>> {
     let mut paths = Vec::new();
     collect_rs(root, root, &mut paths)?;
+    // The general walk skips vendor/ (stand-ins are exempt from the
+    // style-level families), but the L8 concurrency rules deliberately
+    // cover the vendored channel/lock internals: walk those two crates
+    // explicitly.
+    for name in ["crossbeam", "parking_lot"] {
+        let dir = root.join("vendor").join(name);
+        if dir.is_dir() {
+            collect_rs(root, &dir, &mut paths)?;
+        }
+    }
     paths.sort();
     let mut files = Vec::with_capacity(paths.len());
     for p in paths {

@@ -22,11 +22,11 @@ fn usage() -> &'static str {
      \x20      ixp-lint --explain <rule>\n\
      \n\
      Lints every workspace .rs file against the project rules, families\n\
-     L1-L7 (see crates/lint/src/rules.rs). Violations are tolerated only\n\
+     L1-L8 (see crates/lint/src/rules.rs). Violations are tolerated only\n\
      up to the counts recorded in lint-baseline.toml; --update-baseline\n\
      rewrites that file from the current tree. --format json emits the\n\
      schema documented in crates/lint/src/json.rs; --explain prints the\n\
-     rationale for one rule or family alias (l1..l7)."
+     rationale for one rule or family alias (l1..l8)."
 }
 
 enum Format {

@@ -34,6 +34,9 @@ pub struct CallSite {
     /// Token ranges (half-open, into the file's token vec) of each
     /// top-level argument.
     pub args: Vec<(usize, usize)>,
+    /// Token index of the callee name in the file's token vec, so passes
+    /// that reason about statement extents (L8) can anchor a scan there.
+    pub tok: usize,
 }
 
 /// A construct that can panic at runtime.
@@ -96,9 +99,11 @@ pub struct ParsedFile {
 
 /// The crate a workspace-relative path belongs to.
 pub fn crate_of(path: &str) -> String {
-    if let Some(rest) = path.strip_prefix("crates/") {
-        if let Some(name) = rest.split('/').next() {
-            return name.to_string();
+    for prefix in ["crates/", "vendor/"] {
+        if let Some(rest) = path.strip_prefix(prefix) {
+            if let Some(name) = rest.split('/').next() {
+                return name.to_string();
+            }
         }
     }
     "(root)".to_string()
@@ -543,6 +548,7 @@ fn scan_body(toks: &[Token], start: usize, end: usize, item: &mut FnItem) {
                             line: t.line,
                             col: t.col,
                             args,
+                            tok: i,
                         });
                         // Advance one token only: the argument interior is
                         // scanned normally, so nested calls are still found.
@@ -558,6 +564,7 @@ fn scan_body(toks: &[Token], start: usize, end: usize, item: &mut FnItem) {
                             line: t.line,
                             col: t.col,
                             args,
+                            tok: i,
                         });
                     }
                 }
@@ -755,6 +762,7 @@ mod tests {
     #[test]
     fn crate_of_paths() {
         assert_eq!(crate_of("crates/wire/src/ipv4.rs"), "wire");
+        assert_eq!(crate_of("vendor/crossbeam/src/lib.rs"), "crossbeam");
         assert_eq!(crate_of("src/lib.rs"), "(root)");
     }
 }

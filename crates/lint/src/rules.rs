@@ -18,6 +18,11 @@
 //! | `tainted-capacity`, `tainted-arith`, `tainted-slice-len` | L6 | stream-facing crates |
 //! | `hash-iter-order`, `ambient-time`, `ambient-random` | L7 | `core::{report, snapshot, bias}`, `ixp-faults` |
 //! | `obs-clock-boundary` | L7 | every crate `src/` tree except `obs/src/clock.rs` |
+//! | `lock-order-cycle` | L8 | every crate `src/` tree + `vendor/*/src/` |
+//! | `guard-across-blocking` | L8 | every crate `src/` tree + `vendor/*/src/` |
+//! | `shared-state-escape` | L8 | every crate `src/` tree + `vendor/*/src/` |
+//! | `atomic-ordering` | L8 | every crate `src/` tree + `vendor/*/src/` |
+//! | `order-dependent-merge` | L8 | every crate `src/` tree + `vendor/*/src/` |
 //!
 //! Test code (`#[cfg(test)]` items) is exempt from every family except L4.
 
@@ -32,7 +37,7 @@ use crate::Finding;
 pub struct RuleInfo {
     /// Rule id as it appears in findings and directives.
     pub id: &'static str,
-    /// Family tag: `L1`..`L7`, or `meta` for the directive checker.
+    /// Family tag: `L1`..`L8`, or `meta` for the directive checker.
     pub family: &'static str,
     /// Diagnostic severity (currently always `error`; the field exists so
     /// advisory rules can be added without a JSON schema bump).
@@ -201,6 +206,72 @@ pub const RULES: &[RuleInfo] = &[
                   and reads time through it.",
     },
     RuleInfo {
+        id: "lock-order-cycle",
+        family: "L8",
+        severity: "error",
+        summary: "lock-acquisition order is acyclic across the workspace",
+        explain: "L8 records, per function, which locks are held when another \
+                  lock is acquired — directly or through any workspace call \
+                  chain — and builds a lock-order graph over the guard scopes \
+                  it can see (`lock()`/`read()`/`write()` receivers). A cycle \
+                  in that graph means two threads taking the locks in opposite \
+                  orders can deadlock; the finding carries the full cycle with \
+                  one witness acquisition site per edge. Break the cycle by \
+                  ordering the acquisitions consistently or narrowing a guard \
+                  scope with `drop(guard)`.",
+    },
+    RuleInfo {
+        id: "guard-across-blocking",
+        family: "L8",
+        severity: "error",
+        summary: "no Mutex guard held across a blocking channel/thread call",
+        explain: "Holding a lock guard across `.send()`/`.recv()`/`join`/`wait`/\
+                  `sleep` stalls every other thread contending for that lock for \
+                  as long as the blocking call takes — and deadlocks outright \
+                  when the unblocking party needs the same lock. Drop the guard \
+                  first (`drop(guard)`), or pass the guard to a condvar `wait`, \
+                  which atomically releases it and is therefore exempt.",
+    },
+    RuleInfo {
+        id: "shared-state-escape",
+        family: "L8",
+        severity: "error",
+        summary: "no non-Arc interior mutability or `static mut` inside spawned closures",
+        explain: "A `RefCell`/`Cell`/`UnsafeCell` local that is not wrapped in \
+                  `Arc`, or any `static mut`, reached from a `thread::spawn`/\
+                  `scope.spawn` closure is a data race: the borrow-flag or the \
+                  raw cell is mutated unsynchronised from two threads. Share \
+                  state through `Arc<Mutex<_>>`/`Arc<AtomicU64>` or move \
+                  per-thread state into the closure by value.",
+    },
+    RuleInfo {
+        id: "atomic-ordering",
+        family: "L8",
+        severity: "error",
+        summary: "no `Ordering::Relaxed` atomic loads on report/snapshot paths",
+        explain: "Functions reachable from a snapshot/report/export entry point \
+                  feed the byte-identical-metrics gate (DESIGN.md §10). A \
+                  `Relaxed` load there may read a stale value relative to the \
+                  writes another thread published before the snapshot was cut, \
+                  so two exports of the 'same' state can disagree. Use at least \
+                  `Ordering::Acquire` for loads on these paths; hot-path \
+                  writers (`fetch_add`/`store`) may stay `Relaxed`.",
+    },
+    RuleInfo {
+        id: "order-dependent-merge",
+        family: "L8",
+        severity: "error",
+        summary: "channel-drain merges must be order-independent or sorted",
+        explain: "A loop draining a channel (`recv`/`try_recv`) observes items \
+                  in a scheduling-dependent order. Accumulating them with \
+                  float `+=`/`*=` makes the sum depend on that order (float \
+                  addition is not associative), and collecting them with \
+                  `push`/`extend` without a subsequent `sort*` leaks the order \
+                  into the result. Use integer accumulators, index-keyed slots \
+                  (`slots[i] = v`), or sort the collected values before use — \
+                  the ROADMAP-1 shard merge must be seed-stable.",
+    },
+    RuleInfo {
         id: "bad-directive",
         family: "meta",
         severity: "error",
@@ -230,6 +301,11 @@ pub const ALL_RULES: &[&str] = &[
     "ambient-time",
     "ambient-random",
     "obs-clock-boundary",
+    "lock-order-cycle",
+    "guard-across-blocking",
+    "shared-state-escape",
+    "atomic-ordering",
+    "order-dependent-merge",
     "bad-directive",
 ];
 
@@ -245,12 +321,23 @@ pub const L6_RULES: &[&str] = &["tainted-capacity", "tainted-arith", "tainted-sl
 pub const L7_RULES: &[&str] =
     &["hash-iter-order", "ambient-time", "ambient-random", "obs-clock-boundary"];
 
+/// The L8 family: concurrency safety ahead of the sharded parallel ingest —
+/// lock ordering, guard scopes, shared-state escapes, atomic orderings on
+/// snapshot paths, and order-independent shard merges.
+pub const L8_RULES: &[&str] = &[
+    "lock-order-cycle",
+    "guard-across-blocking",
+    "shared-state-escape",
+    "atomic-ordering",
+    "order-dependent-merge",
+];
+
 /// Registry lookup by rule id.
 pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
     RULES.iter().find(|r| r.id == id)
 }
 
-/// Expand a rule name or family alias (`l1`..`l7`) into concrete rules.
+/// Expand a rule name or family alias (`l1`..`l8`) into concrete rules.
 /// Returns `None` for unknown names.
 pub fn resolve_rule(name: &str) -> Option<Vec<&'static str>> {
     if let Some(&r) = ALL_RULES.iter().find(|r| **r == name) {
@@ -264,6 +351,7 @@ pub fn resolve_rule(name: &str) -> Option<Vec<&'static str>> {
         "l5" | "L5" => Some(vec!["panic-path"]),
         "l6" | "L6" => Some(L6_RULES.to_vec()),
         "l7" | "L7" => Some(L7_RULES.to_vec()),
+        "l8" | "L8" => Some(L8_RULES.to_vec()),
         _ => None,
     }
 }
@@ -698,6 +786,7 @@ mod tests { pub enum TestError { X } }
         assert_eq!(resolve_rule("l1").map(|v| v.len()), Some(5));
         assert_eq!(resolve_rule("l6").map(|v| v.len()), Some(3));
         assert_eq!(resolve_rule("l7").map(|v| v.len()), Some(4));
+        assert_eq!(resolve_rule("l8").map(|v| v.len()), Some(5));
         assert_eq!(resolve_rule("no-index"), Some(vec!["no-index"]));
         assert_eq!(resolve_rule("panic-path"), Some(vec!["panic-path"]));
         assert_eq!(resolve_rule("nope"), None);
@@ -710,7 +799,10 @@ mod tests { pub enum TestError { X } }
             let info = rule_info(id).unwrap_or_else(|| panic!("{id} missing from RULES"));
             assert!(!info.summary.is_empty() && !info.explain.is_empty());
             assert!(
-                matches!(info.family, "L1" | "L2" | "L3" | "L4" | "L5" | "L6" | "L7" | "meta"),
+                matches!(
+                    info.family,
+                    "L1" | "L2" | "L3" | "L4" | "L5" | "L6" | "L7" | "L8" | "meta"
+                ),
                 "{id} has odd family {}",
                 info.family
             );

@@ -36,8 +36,14 @@ fn violations_tree_exits_one_with_findings_on_stdout() {
     assert!(stdout.contains("crates/sflow/src/taint.rs:5: tainted-capacity: "));
     assert!(stdout.contains("crates/faults/src/clock.rs:4: ambient-time: "));
     assert!(stdout.contains("crates/core/src/timing.rs:3: obs-clock-boundary: "));
+    // And the L8 concurrency family.
+    assert!(stdout.contains("crates/alpha/src/lib.rs:11: lock-order-cycle: "));
+    assert!(stdout.contains("crates/gamma/src/lib.rs:24: guard-across-blocking: "));
+    assert!(stdout.contains("crates/gamma/src/lib.rs:16: shared-state-escape: "));
+    assert!(stdout.contains("crates/gamma/src/lib.rs:30: atomic-ordering: "));
+    assert!(stdout.contains("crates/gamma/src/lib.rs:47: order-dependent-merge: "));
     let stderr = String::from_utf8(out.stderr).unwrap();
-    assert!(stderr.contains("17 violation(s)"), "stderr was: {stderr}");
+    assert!(stderr.contains("25 violation(s)"), "stderr was: {stderr}");
 }
 
 #[test]
@@ -47,9 +53,21 @@ fn json_format_emits_the_documented_schema() {
     assert_eq!(out.status.code(), Some(1));
     let stdout = String::from_utf8(out.stdout).unwrap();
     let v = ixp_lint::json::parse(&stdout).expect("report must be valid JSON");
-    assert_eq!(v.get("version").and_then(|s| s.as_u64()), Some(1));
+    assert_eq!(v.get("version").and_then(|s| s.as_u64()), Some(2));
+    let rules = v.get("rules").and_then(|r| r.as_arr()).expect("rules array");
+    for id in ixp_lint::rules::L8_RULES {
+        assert!(
+            rules.iter().any(|r| r.get("id").and_then(|i| i.as_str()) == Some(id)),
+            "rule {id} missing from the schema's rules array"
+        );
+    }
     let findings = v.get("findings").and_then(|f| f.as_arr()).expect("findings array");
-    assert_eq!(v.get("summary").and_then(|s| s.get("total")).and_then(|t| t.as_u64()), Some(17));
+    assert_eq!(v.get("summary").and_then(|s| s.get("total")).and_then(|t| t.as_u64()), Some(25));
+    let cycle = findings
+        .iter()
+        .find(|f| f.get("rule").and_then(|r| r.as_str()) == Some("lock-order-cycle"))
+        .expect("lock-order-cycle finding present");
+    assert_eq!(cycle.get("family").and_then(|f| f.as_str()), Some("L8"));
     let unwrap_finding = findings
         .iter()
         .find(|f| f.get("rule").and_then(|r| r.as_str()) == Some("no-unwrap"))
@@ -72,7 +90,7 @@ fn json_format_on_the_workspace_parses_cleanly() {
     assert_eq!(out.status.code(), Some(0), "workspace must lint clean");
     let stdout = String::from_utf8(out.stdout).unwrap();
     let v = ixp_lint::json::parse(&stdout).expect("workspace report must be valid JSON");
-    assert_eq!(v.get("version").and_then(|s| s.as_u64()), Some(1));
+    assert_eq!(v.get("version").and_then(|s| s.as_u64()), Some(2));
     assert_eq!(v.get("summary").and_then(|s| s.get("total")).and_then(|t| t.as_u64()), Some(0));
 }
 

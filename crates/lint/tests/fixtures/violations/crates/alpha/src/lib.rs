@@ -1,0 +1,13 @@
+//! L8 demo: the seeded lock-order inversion of the acceptance criteria.
+//! `ingest` holds `stats` while `ixp_beta::account` takes `table`;
+//! `ixp_beta::flush` nests the other way round — a cross-crate
+//! lock-order cycle ixp-lint must report with the full trace.
+
+use parking_lot::Mutex;
+
+/// Takes `stats`, then acquires `table` inside the beta crate.
+pub fn ingest(stats: &Mutex<u64>, table: &Mutex<u64>) {
+    let s = stats.lock();
+    ixp_beta::account(table);
+    drop(s);
+}

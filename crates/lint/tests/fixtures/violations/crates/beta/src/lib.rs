@@ -1,0 +1,16 @@
+//! The other half of the seeded lock inversion (see alpha).
+
+use parking_lot::Mutex;
+
+/// Acquires `table`; called by alpha while `stats` is held.
+pub fn account(table: &Mutex<u64>) {
+    *table.lock() += 1;
+}
+
+/// Nests `table` → `stats`, the reverse of alpha's order.
+pub fn flush(table: &Mutex<u64>, stats: &Mutex<u64>) {
+    let t = table.lock();
+    let s = stats.lock();
+    drop(s);
+    drop(t);
+}

@@ -14,12 +14,20 @@ fn violations_tree_reports_every_rule_exactly() {
     let got: Vec<(String, u32, &str)> =
         findings.iter().map(|f| (f.file.clone(), f.line, f.rule)).collect();
     let expected: Vec<(String, u32, &str)> = [
+        ("crates/alpha/src/lib.rs", 11, "lock-order-cycle"),
         ("crates/badcrate/src/lib.rs", 1, "error-impl"),
         ("crates/core/src/report.rs", 5, "hash-iter-order"),
         ("crates/core/src/timing.rs", 3, "obs-clock-boundary"),
         ("crates/core/src/visibility.rs", 2, "no-float-eq"),
         ("crates/faults/src/clock.rs", 4, "ambient-time"),
         ("crates/faults/src/clock.rs", 5, "ambient-random"),
+        ("crates/gamma/src/lib.rs", 16, "shared-state-escape"),
+        ("crates/gamma/src/lib.rs", 17, "shared-state-escape"),
+        ("crates/gamma/src/lib.rs", 24, "guard-across-blocking"),
+        ("crates/gamma/src/lib.rs", 30, "atomic-ordering"),
+        ("crates/gamma/src/lib.rs", 39, "atomic-ordering"),
+        ("crates/gamma/src/lib.rs", 47, "order-dependent-merge"),
+        ("crates/gamma/src/lib.rs", 48, "order-dependent-merge"),
         ("crates/sflow/src/accounting.rs", 2, "no-narrow-cast"),
         ("crates/sflow/src/taint.rs", 5, "tainted-capacity"),
         ("crates/sflow/src/taint.rs", 6, "tainted-arith"),
@@ -49,6 +57,20 @@ fn l5_trace_names_the_cross_crate_chain() {
     assert!(trace.contains("first_byte"), "{trace}");
     assert!(trace.contains("pick"), "{trace}");
     assert!(trace.contains("crates/core/src/util.rs"), "{trace}");
+}
+
+#[test]
+fn l8_trace_names_the_cross_crate_cycle() {
+    let findings = ixp_lint::scan_workspace(&fixture("violations")).unwrap();
+    let trace = findings
+        .iter()
+        .find(|f| f.rule == "lock-order-cycle")
+        .map(|f| f.message.clone())
+        .unwrap();
+    assert!(trace.contains("`stats`"), "{trace}");
+    assert!(trace.contains("`table`"), "{trace}");
+    assert!(trace.contains("inside `account`"), "{trace}");
+    assert!(trace.contains("crates/beta/src/lib.rs:13"), "{trace}");
 }
 
 #[test]

@@ -43,9 +43,11 @@ impl Counter {
         self.cell.fetch_add(n, Ordering::Relaxed);
     }
 
-    /// Current value.
+    /// Current value. Acquire pairs with the writers so a snapshot reads
+    /// everything published before it was cut (ixp-lint L8
+    /// `atomic-ordering`).
     pub fn get(&self) -> u64 {
-        self.cell.load(Ordering::Relaxed)
+        self.cell.load(Ordering::Acquire)
     }
 }
 
@@ -76,9 +78,10 @@ impl Gauge {
         self.cell.fetch_max(v, Ordering::Relaxed);
     }
 
-    /// Current value.
+    /// Current value. Acquire, as for [`Counter::get`]: the snapshot path
+    /// must observe every write published before it.
     pub fn get(&self) -> u64 {
-        self.cell.load(Ordering::Relaxed)
+        self.cell.load(Ordering::Acquire)
     }
 }
 
@@ -193,14 +196,18 @@ impl Histogram {
     /// An immutable, internally consistent view of the histogram.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let inner = &self.inner;
+        // Acquire loads on the snapshot path: the exported view must
+        // include every observation published before the snapshot was cut
+        // (ixp-lint L8 `atomic-ordering`); the hot-path writers stay
+        // Relaxed.
         let counts: Vec<u64> =
-            inner.buckets.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+            inner.buckets.iter().map(|c| c.load(Ordering::Acquire)).collect();
         let count = counts.iter().fold(0u64, |a, c| a.saturating_add(*c));
         let snap = HistogramSnapshot {
             bounds: inner.bounds.clone(),
             counts,
             count,
-            sum: inner.sum.load(Ordering::Relaxed),
+            sum: inner.sum.load(Ordering::Acquire),
             p50: 0,
             p90: 0,
             p99: 0,
