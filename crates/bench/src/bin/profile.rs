@@ -12,8 +12,12 @@
 //! * **ingest overhead** — the reference week's feed is materialized once
 //!   and pushed through a detached [`WeekScan`] (metrics sinks discarded)
 //!   and an instrumented one (live registry + real clock, 1-in-64 latency
-//!   sampling). Best-of-`reps` wall times give the relative overhead; the
-//!   acceptance bar is < 5 %.
+//!   sampling). The two variants are *interleaved* within each repetition
+//!   (detached, instrumented, detached, instrumented, …) so frequency
+//!   scaling, cache warmth, and scheduler drift hit both alike — a fixed
+//!   detached-then-instrumented order lets whichever runs later ride a
+//!   warmer machine and can even report negative overhead. Median-of-`reps`
+//!   wall times give the relative overhead; the acceptance bar is < 5 %.
 //! * **per-stage throughput** — a full instrumented 17-week study plus the
 //!   clustering / visibility / longitudinal analyses, with every stage's
 //!   duration read back from the `core_stage_duration_ns{stage="..."}`
@@ -66,16 +70,27 @@ fn parse_args() -> Args {
     Args { scale, scale_name, seed, out, reps }
 }
 
-/// Best-of-`reps` wall time of `f`, in nanoseconds (minimum filters
-/// scheduler noise better than the mean on a shared box).
-fn best_of(clock: &dyn ixp_obs::Clock, reps: u32, mut f: impl FnMut()) -> u64 {
-    let mut best = u64::MAX;
-    for _ in 0..reps.max(1) {
-        let sw = Stopwatch::start(clock);
-        f();
-        best = best.min(sw.elapsed_ns(clock));
+/// One timed call of `f`, in nanoseconds.
+fn timed(clock: &dyn ixp_obs::Clock, mut f: impl FnMut()) -> u64 {
+    let sw = Stopwatch::start(clock);
+    f();
+    sw.elapsed_ns(clock)
+}
+
+/// Median of the samples (robust to the odd scheduler hiccup without the
+/// ordering bias a min/best-of has when variants run back to back).
+fn median(mut samples: Vec<u64>) -> u64 {
+    samples.sort_unstable();
+    let n = samples.len();
+    match n {
+        0 => 0,
+        _ if n % 2 == 1 => samples.get(n / 2).copied().unwrap_or(0),
+        _ => {
+            let hi = samples.get(n / 2).copied().unwrap_or(0);
+            let lo = samples.get(n / 2 - 1).copied().unwrap_or(0);
+            lo.midpoint(hi)
+        }
     }
-    best
 }
 
 fn per_sec(count: u64, ns: u64) -> f64 {
@@ -101,20 +116,34 @@ fn main() {
     let datagrams = feed.len() as u64;
     let feed_bytes: u64 = feed.iter().map(|d| d.len() as u64).sum();
 
-    eprintln!("timing ingest ({} datagrams, best of {}) ...", datagrams, args.reps);
-    let detached_ns = best_of(clock.as_ref(), args.reps, || {
+    eprintln!(
+        "timing ingest ({} datagrams, median of {} interleaved reps) ...",
+        datagrams, args.reps
+    );
+    let mut run_detached = || {
         let mut scan = WeekScan::new(week, members);
         for dg in &feed {
             scan.ingest(dg);
         }
-    });
-    let instrumented_ns = best_of(clock.as_ref(), args.reps, || {
+    };
+    let mut run_instrumented = || {
         let obs = Obs::real();
         let mut scan = WeekScan::with_obs(week, members, &obs);
         for dg in &feed {
             scan.ingest(dg);
         }
-    });
+    };
+    // Untimed warmup of both variants (page in the feed, warm the caches).
+    run_detached();
+    run_instrumented();
+    let mut detached = Vec::new();
+    let mut instrumented = Vec::new();
+    for _ in 0..args.reps.max(1) {
+        detached.push(timed(clock.as_ref(), &mut run_detached));
+        instrumented.push(timed(clock.as_ref(), &mut run_instrumented));
+    }
+    let detached_ns = median(detached);
+    let instrumented_ns = median(instrumented);
     let overhead_pct = if detached_ns == 0 {
         0.0
     } else {
@@ -182,7 +211,7 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"schema\": \"ixp-bench/profile/1\",\n  \"scale\": \"{}\",\n  \"seed\": {},\n  \"weeks\": {},\n  \"ingest\": {{\n    \"datagrams\": {datagrams},\n    \"bytes\": {feed_bytes},\n    \"detached_ns\": {detached_ns},\n    \"instrumented_ns\": {instrumented_ns},\n    \"overhead_pct\": {overhead_pct:.2},\n    \"detached_datagrams_per_sec\": {:.2},\n    \"instrumented_datagrams_per_sec\": {:.2},\n    \"detached_mbytes_per_sec\": {:.2}\n  }},\n  \"stages\": [\n{stages}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"ixp-bench/profile/2\",\n  \"scale\": \"{}\",\n  \"seed\": {},\n  \"weeks\": {},\n  \"ingest\": {{\n    \"datagrams\": {datagrams},\n    \"bytes\": {feed_bytes},\n    \"detached_ns\": {detached_ns},\n    \"instrumented_ns\": {instrumented_ns},\n    \"overhead_pct\": {overhead_pct:.2},\n    \"detached_datagrams_per_sec\": {:.2},\n    \"instrumented_datagrams_per_sec\": {:.2},\n    \"detached_mbytes_per_sec\": {:.2}\n  }},\n  \"stages\": [\n{stages}\n  ]\n}}\n",
         args.scale_name,
         args.seed,
         Week::COUNT,

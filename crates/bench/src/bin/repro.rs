@@ -7,6 +7,7 @@
 //! cargo run --release -p ixp-bench --bin repro -- [--scale tiny|small|paper:<divisor>]
 //!     [--seed N] [--markdown <path>] [--exp <id>]
 //!     [--metrics <path>] [--prometheus <path>] [--clock test|real]
+//!     [--checkpoint <path>] [--kill-at <n>] [--resume <path>]
 //! ```
 //!
 //! Every run also writes the observability snapshot (`ixp-obs`, JSON
@@ -16,6 +17,15 @@
 //! byte-identical snapshots — `scripts/ci.sh` checks exactly that. Pass
 //! `--clock real` for actual stage durations (at the cost of
 //! reproducibility of the timing histograms).
+//!
+//! `--checkpoint`/`--resume` switch to the **supervised single-week
+//! mode** (`ixp-supervisor`): the reference week is ingested through the
+//! bounded intake ring under the watchdog. With `--kill-at N` the run is
+//! killed at that datagram boundary and the sealed checkpoint written to
+//! `--checkpoint`; a later `--resume <path>` run restores it, replays the
+//! rest of the regenerated feed, and produces a report and metrics
+//! snapshot byte-identical to an uninterrupted run — `scripts/ci.sh`
+//! checks exactly that, too.
 
 use std::fmt::Write as _;
 
@@ -34,6 +44,9 @@ struct Args {
     metrics: String,
     prometheus: Option<String>,
     real_clock: bool,
+    checkpoint: Option<String>,
+    resume: Option<String>,
+    kill_at: Option<u64>,
 }
 
 fn parse_args() -> Args {
@@ -45,6 +58,9 @@ fn parse_args() -> Args {
     let mut metrics = "target/metrics-snapshot.json".to_string();
     let mut prometheus = None;
     let mut real_clock = false;
+    let mut checkpoint = None;
+    let mut resume = None;
+    let mut kill_at = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -68,6 +84,11 @@ fn parse_args() -> Args {
             "--exp" => exp = it.next(),
             "--metrics" => metrics = it.next().expect("--metrics path"),
             "--prometheus" => prometheus = it.next(),
+            "--checkpoint" => checkpoint = it.next(),
+            "--resume" => resume = it.next(),
+            "--kill-at" => {
+                kill_at = Some(it.next().and_then(|s| s.parse().ok()).expect("--kill-at N"))
+            }
             "--clock" => {
                 real_clock = match it.next().expect("--clock test|real").as_str() {
                     "real" => true,
@@ -78,7 +99,19 @@ fn parse_args() -> Args {
             other => panic!("unknown argument {other}"),
         }
     }
-    Args { scale, scale_name, seed, markdown, exp, metrics, prometheus, real_clock }
+    Args {
+        scale,
+        scale_name,
+        seed,
+        markdown,
+        exp,
+        metrics,
+        prometheus,
+        real_clock,
+        checkpoint,
+        resume,
+        kill_at,
+    }
 }
 
 /// Collects sections for the markdown report.
@@ -106,6 +139,10 @@ fn main() {
     // The only time source of the whole run: the obs clock. `--clock test`
     // (default) freezes it so the snapshot is byte-reproducible.
     let obs = if args.real_clock { Obs::real() } else { Obs::deterministic() };
+    if args.checkpoint.is_some() || args.resume.is_some() {
+        supervised_mode(&args, &obs);
+        return;
+    }
     let t0 = Stopwatch::start(obs.clock.as_ref());
     let secs = |sw: &Stopwatch| sw.elapsed_ns(obs.clock.as_ref()) as f64 / 1e9;
     eprintln!("generating model (scale={}, seed={}) ...", args.scale_name, args.seed);
@@ -157,15 +194,20 @@ fn main() {
     e24_baselines(&mut out, &analyzer, reference, &clusters, model);
     ablations(&mut out, &analyzer, reference, model);
     faults_sweep(&mut out, &analyzer, reference, args.seed);
+    chaos_sweep(&mut out, &analyzer, reference, model, args.seed);
 
     eprintln!("all experiments done at {:.1}s", secs(&t0));
-    if let Some(path) = args.markdown {
-        std::fs::write(&path, out.md).expect("write markdown");
+    if let Some(path) = &args.markdown {
+        std::fs::write(path, out.md).expect("write markdown");
         eprintln!("wrote {path}");
     }
 
-    // Export the run's observability snapshot. Sorted + integer-only, so
-    // with the frozen test clock two same-seed runs are byte-identical.
+    write_snapshots(&args, &obs);
+}
+
+/// Export the run's observability snapshot. Sorted + integer-only, so
+/// with the frozen test clock two same-seed runs are byte-identical.
+fn write_snapshots(args: &Args, obs: &Obs) {
     let snapshot = obs.snapshot();
     if let Some(parent) = std::path::Path::new(&args.metrics).parent() {
         if !parent.as_os_str().is_empty() {
@@ -178,11 +220,95 @@ fn main() {
         args.metrics,
         snapshot.entries.len()
     );
-    if let Some(path) = args.prometheus {
-        std::fs::write(&path, ixp_obs::prometheus::render(&snapshot))
+    if let Some(path) = &args.prometheus {
+        std::fs::write(path, ixp_obs::prometheus::render(&snapshot))
             .expect("write prometheus exposition");
         eprintln!("wrote prometheus exposition to {path}");
     }
+}
+
+/// The supervised single-week mode (`--checkpoint` / `--resume`): ingest
+/// the reference week through the bounded intake ring under the watchdog,
+/// optionally killing at a datagram boundary (`--kill-at`) and writing a
+/// sealed checkpoint, or resuming from one. A resumed run replays the
+/// regenerated feed from its cursor and ends byte-identical — report,
+/// checkpoint, and metrics snapshot — to a run that was never killed.
+fn supervised_mode(args: &Args, obs: &Obs) {
+    use ixp_supervisor::{Supervisor, SupervisorConfig};
+
+    let t0 = Stopwatch::start(obs.clock.as_ref());
+    let secs = |sw: &Stopwatch| sw.elapsed_ns(obs.clock.as_ref()) as f64 / 1e9;
+    eprintln!(
+        "supervised mode (scale={}, seed={}) ...",
+        args.scale_name, args.seed
+    );
+    let model = Box::leak(Box::new(InternetModel::generate(args.scale.clone(), args.seed)));
+    let analyzer = Analyzer::with_obs(model, obs.clone());
+    let week = Week::REFERENCE;
+    let config = SupervisorConfig::default();
+
+    let mut sup = match &args.resume {
+        Some(path) => {
+            let bytes = std::fs::read(path).expect("read checkpoint file");
+            let mut sup = Supervisor::restore(&bytes, config)
+                .unwrap_or_else(|e| panic!("refusing to resume from {path}: {e}"));
+            sup.bind_obs(obs);
+            eprintln!("  resumed from {path} at offered datagram {}", sup.offered());
+            sup
+        }
+        None => {
+            let members = model.registry.members_at(week).len() as u32;
+            Supervisor::with_obs(
+                ixp_core::WeekScan::with_obs(week, members, obs),
+                config,
+                obs,
+            )
+        }
+    };
+
+    let done = obs.time(&stage_metric("scan"), || {
+        sup.run_feed(analyzer.feed(week), args.kill_at)
+    });
+    if !done {
+        let path = args
+            .checkpoint
+            .as_deref()
+            .expect("--kill-at needs --checkpoint <path> to write to");
+        std::fs::write(path, sup.checkpoint()).expect("write checkpoint file");
+        eprintln!(
+            "  killed at offered datagram {} ({:.1}s) — checkpoint written to {path}",
+            sup.offered(),
+            secs(&t0)
+        );
+        return;
+    }
+    if let Some(path) = &args.checkpoint {
+        std::fs::write(path, sup.checkpoint()).expect("write checkpoint file");
+        eprintln!("  final checkpoint written to {path}");
+    }
+
+    let stats = sup.stats();
+    let health = sup.scan().ingest_health();
+    let report = analyzer.report_from_scan(sup.into_scan());
+    let t1 = visibility::table1(&report.snapshot);
+    println!("supervised week {} complete at {:.1}s", week.0, secs(&t0));
+    println!(
+        "  Table 1: {} peering IPs / {} prefixes / {} ASes",
+        t1.peering.ips, t1.peering.prefixes, t1.peering.ases
+    );
+    println!(
+        "  supervisor: {} offered, {} shed, {} ticks, {} deadline misses, ring high water {}",
+        stats.offered, stats.shed, stats.ticks, stats.deadline_misses, stats.high_water
+    );
+    println!(
+        "  agents: {} healthy / {} degraded / {} quarantined / {} recovering",
+        stats.agents[0], stats.agents[1], stats.agents[2], stats.agents[3]
+    );
+    println!(
+        "  accounting invariant (ingested = accepted + duplicates + errors + shed): {}",
+        if health.fully_accounted() { "holds" } else { "VIOLATED" }
+    );
+    write_snapshots(args, obs);
 }
 
 fn e1_fig1(out: &mut Out, reference: &ixp_core::WeeklyReport) {
@@ -817,7 +943,7 @@ fn faults_sweep(
         );
         let _ = writeln!(
             body,
-            "    accounting invariant (ingested = accepted + duplicates + errors): {}",
+            "    accounting invariant (ingested = accepted + duplicates + errors + shed): {}",
             if h.fully_accounted() { "holds" } else { "VIOLATED" }
         );
     }
@@ -826,4 +952,142 @@ fn faults_sweep(
         "  (the unique-AS/prefix counts are what the paper's Table 1 rests on: heavy-hitter\n   visibility survives sampling-level loss, only the one-packet tail erodes)"
     );
     out.section("FAULTS", "robustness — degraded-mode sweep over injected stream faults", body);
+}
+
+/// The chaos soak (`--exp chaos`): the reference week's faulted feed is
+/// driven through the supervised pipeline while the drain stage is stalled
+/// in seeded overload bursts and the process is killed and resumed from
+/// its own checkpoint at seeded offsets. The resumed run must end
+/// byte-identical to the uninterrupted one, damaged checkpoints must fail
+/// closed, and Table 1 must stay within the chaos drift tolerance.
+fn chaos_sweep(
+    out: &mut Out,
+    analyzer: &Analyzer<'_>,
+    reference: &ixp_core::WeeklyReport,
+    model: &InternetModel,
+    seed: u64,
+) {
+    use ixp_faults::{chaos, BurstWindow, FaultConfig, FaultPlan};
+    use ixp_supervisor::{Supervisor, SupervisorConfig};
+
+    let week = Week::REFERENCE;
+    let clean = visibility::table1(&reference.snapshot);
+    let members = model.registry.members_at(week).len() as u32;
+    let config = SupervisorConfig {
+        ring_capacity: 256,
+        arrivals_per_tick: 64,
+        drain_budget: 96,
+        ..SupervisorConfig::default()
+    };
+
+    // One faulted feed, collected once so both arms see identical bytes.
+    let fault_cfg = FaultConfig {
+        seed,
+        drop: 0.02,
+        duplicate: 0.005,
+        reorder: 0.005,
+        truncate: 0.001,
+        corrupt: 0.001,
+        ..FaultConfig::default()
+    };
+    let stream: Vec<Vec<u8>> = FaultPlan::new(analyzer.feed(week), fault_cfg).collect();
+    let total = stream.len() as u64;
+    let kills = chaos::kill_offsets(seed, total, 3);
+    let bursts = chaos::overload_bursts(seed, total, 2, (total / 16).max(1));
+
+    // Drive `sup` over the shared feed, stalling the drain inside the
+    // overload bursts; stops (returning false) at `kill_at` if given.
+    let drive = |sup: &mut Supervisor, kill_at: Option<u64>| -> bool {
+        let skip = usize::try_from(sup.offered()).unwrap_or(usize::MAX);
+        for (i, dg) in stream.iter().enumerate().skip(skip) {
+            if kill_at.is_some_and(|k| sup.offered() >= k) {
+                return false;
+            }
+            let idx = i as u64 + 1;
+            sup.set_stalled(bursts.iter().any(|b: &BurstWindow| b.contains(idx)));
+            sup.offer(dg.clone());
+        }
+        sup.set_stalled(false);
+        sup.finish();
+        true
+    };
+
+    let mut whole = Supervisor::new(ixp_core::WeekScan::new(week, members), config);
+    drive(&mut whole, None);
+    let whole_ckpt = whole.checkpoint();
+
+    // Kill-and-resume chain: die at each seeded offset, restore from the
+    // sealed checkpoint, continue.
+    let mut sup = Supervisor::new(ixp_core::WeekScan::new(week, members), config);
+    let mut resumes = 0u32;
+    for &k in &kills {
+        if drive(&mut sup, Some(k)) {
+            break;
+        }
+        let ckpt = sup.checkpoint();
+        sup = Supervisor::restore(&ckpt, config).expect("restore own checkpoint");
+        resumes += 1;
+    }
+    drive(&mut sup, None);
+    let identical = sup.checkpoint() == whole_ckpt;
+
+    // Damaged checkpoints must fail closed.
+    let mut flipped = whole_ckpt.clone();
+    chaos::flip_bit(&mut flipped, seed);
+    let flip_rejected = Supervisor::restore(&flipped, config).is_err();
+    let truncated = chaos::truncate_at_random(&whole_ckpt, seed);
+    let trunc_rejected = Supervisor::restore(&truncated, config).is_err();
+
+    let stats = sup.stats();
+    let h = sup.scan().ingest_health();
+    let fully_accounted = h.fully_accounted();
+    let report = analyzer.report_from_scan(sup.into_scan());
+    let t1 = visibility::table1(&report.snapshot);
+    let drift = |a: u64, b: u64| 100.0 * (a as f64 - b as f64).abs() / b.max(1) as f64;
+
+    let mut body = String::new();
+    let _ = writeln!(
+        body,
+        "  feed: {} datagrams; kills at {:?}; {} overload bursts of ≤{} datagrams",
+        total,
+        kills,
+        bursts.len(),
+        (total / 16).max(1)
+    );
+    let _ = writeln!(
+        body,
+        "  kill/resume × {resumes}: final checkpoint byte-identical to uninterrupted run: {}",
+        if identical { "yes" } else { "NO" }
+    );
+    let _ = writeln!(
+        body,
+        "  damaged checkpoints fail closed: bit flip {}, truncation {}",
+        if flip_rejected { "rejected" } else { "ACCEPTED" },
+        if trunc_rejected { "rejected" } else { "ACCEPTED" },
+    );
+    let _ = writeln!(
+        body,
+        "  supervisor: {} offered, {} shed, {} ticks, {} deadline misses, ring high water {}",
+        stats.offered, stats.shed, stats.ticks, stats.deadline_misses, stats.high_water
+    );
+    let _ = writeln!(
+        body,
+        "  Table 1 under chaos: {} IPs ({:+.2} % drift) / {} prefixes ({:+.2} %) / {} ASes ({:+.2} %)",
+        t1.peering.ips,
+        drift(t1.peering.ips, clean.peering.ips),
+        t1.peering.prefixes,
+        drift(t1.peering.prefixes, clean.peering.prefixes),
+        t1.peering.ases,
+        drift(t1.peering.ases, clean.peering.ases),
+    );
+    let _ = writeln!(
+        body,
+        "  accounting invariant (ingested = accepted + duplicates + errors + shed): {}",
+        if fully_accounted { "holds" } else { "VIOLATED" }
+    );
+    out.section(
+        "CHAOS",
+        "chaos soak — kill/resume, overload shedding, checkpoint corruption",
+        body,
+    );
 }

@@ -173,6 +173,14 @@ pub fn render_ingest_health(report: &WeeklyReport) -> String {
         "undissectable samples",
         thousands(h.undissectable_samples)
     );
+    if h.shed > 0 {
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>12}   (bounded intake queue overload)",
+            "shed by intake queue",
+            thousands(h.shed)
+        );
+    }
     let _ = writeln!(
         out,
         "  {:<28} {:>12.4}",
@@ -181,7 +189,7 @@ pub fn render_ingest_health(report: &WeeklyReport) -> String {
     );
     let _ = writeln!(
         out,
-        "  accounting invariant (ingested = accepted + duplicates + errors): {}",
+        "  accounting invariant (ingested = accepted + duplicates + errors + shed): {}",
         if h.fully_accounted() { "holds" } else { "VIOLATED" }
     );
     out

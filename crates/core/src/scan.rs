@@ -11,6 +11,7 @@ use std::net::Ipv4Addr;
 
 use ixp_netmodel::{MemberId, Week};
 use ixp_obs::Obs;
+use ixp_sflow::checkpoint::{self, Cur, StateError};
 use ixp_sflow::collector::{Collector, CollectorStats, Ingest};
 use ixp_sflow::{DecodeErrorCounts, TrafficEstimate};
 use ixp_wire::dissect::{Dissection, Network, Transport};
@@ -192,6 +193,10 @@ pub struct IngestHealth {
     pub collector: CollectorStats,
     /// Samples inside accepted datagrams that could not be dissected.
     pub undissectable_samples: u64,
+    /// Datagrams shed by the bounded intake queue under overload, before
+    /// they reached the collector. Counted here so backpressure degrades
+    /// the accounting visibly, never silently.
+    pub shed: u64,
 }
 
 impl IngestHealth {
@@ -206,11 +211,23 @@ impl IngestHealth {
         self.collector.compensation_factor()
     }
 
-    /// The no-silent-discard invariant: every ingested buffer is accepted,
-    /// a suppressed duplicate, or a counted decode error.
+    /// Every datagram offered to the pipeline: the ones the collector saw
+    /// plus the ones the intake queue shed before it could.
+    pub fn ingested(&self) -> u64 {
+        self.collector.datagrams.saturating_add(self.shed)
+    }
+
+    /// The no-silent-discard invariant, extended over the intake queue:
+    /// every offered buffer is accepted, a suppressed duplicate, a counted
+    /// decode error, or an explicitly counted shed.
     pub fn fully_accounted(&self) -> bool {
         let c = &self.collector;
-        c.datagrams == c.accepted + c.duplicates + c.decode_errors.total()
+        let accounted = c
+            .accepted
+            .checked_add(c.duplicates)
+            .and_then(|v| v.checked_add(c.decode_errors.total()))
+            .and_then(|v| v.checked_add(self.shed));
+        accounted == Some(self.ingested())
     }
 
     /// A traffic estimate scaled up by the loss-compensation factor, so
@@ -219,6 +236,88 @@ impl IngestHealth {
         estimate.scaled(self.compensation_factor())
     }
 }
+
+/// A plain-integer shadow of [`DissectMetrics`]: the same outcome taxonomy
+/// kept as owned `u64`s so it can be checkpointed and replayed. Registered
+/// counters may be shared across scans (a parallel study registers one
+/// `wire_*` family for all weeks), so per-scan contributions cannot be
+/// read back out of the registry — the tally carries them instead.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct DissectTally {
+    frames: u64,
+    ipv4_tcp: u64,
+    ipv4_udp: u64,
+    ipv4_icmp: u64,
+    ipv4_other: u64,
+    ipv4_truncated: u64,
+    ipv6: u64,
+    arp: u64,
+    other_ethertype: u64,
+    malformed_ipv4: u64,
+    too_short: u64,
+}
+
+impl DissectTally {
+    /// Mirror of [`DissectMetrics::record`] over plain integers.
+    fn record(&mut self, outcome: &ixp_wire::Result<Dissection<'_>>) {
+        self.frames += 1;
+        let d = match outcome {
+            Ok(d) => d,
+            Err(_) => {
+                self.too_short += 1;
+                return;
+            }
+        };
+        match &d.network {
+            Network::Ipv4 { transport, .. } => match transport {
+                Transport::Tcp { .. } => self.ipv4_tcp += 1,
+                Transport::Udp { .. } => self.ipv4_udp += 1,
+                Transport::Icmp => self.ipv4_icmp += 1,
+                Transport::Other(_) => self.ipv4_other += 1,
+                Transport::Truncated(_) => self.ipv4_truncated += 1,
+            },
+            Network::Ipv6 => self.ipv6 += 1,
+            Network::Arp => self.arp += 1,
+            Network::OtherEtherType(_) => self.other_ethertype += 1,
+            Network::MalformedIpv4(_) => self.malformed_ipv4 += 1,
+        }
+    }
+
+    /// Fields in serialization order.
+    fn fields(&self) -> [u64; 11] {
+        [
+            self.frames,
+            self.ipv4_tcp,
+            self.ipv4_udp,
+            self.ipv4_icmp,
+            self.ipv4_other,
+            self.ipv4_truncated,
+            self.ipv6,
+            self.arp,
+            self.other_ethertype,
+            self.malformed_ipv4,
+            self.too_short,
+        ]
+    }
+
+    /// Replay the tally into a live bundle (after a restore).
+    fn replay(&self, m: &DissectMetrics) {
+        m.frames.add(self.frames);
+        m.ipv4_tcp.add(self.ipv4_tcp);
+        m.ipv4_udp.add(self.ipv4_udp);
+        m.ipv4_icmp.add(self.ipv4_icmp);
+        m.ipv4_other.add(self.ipv4_other);
+        m.ipv4_truncated.add(self.ipv4_truncated);
+        m.ipv6.add(self.ipv6);
+        m.arp.add(self.arp);
+        m.other_ethertype.add(self.other_ethertype);
+        m.malformed_ipv4.add(self.malformed_ipv4);
+        m.too_short.add(self.too_short);
+    }
+}
+
+/// Serialization format version of [`WeekScan`] state.
+pub const WEEKSCAN_STATE_VERSION: u32 = 1;
 
 /// The result of scanning one week of sFlow.
 #[derive(Debug)]
@@ -239,6 +338,11 @@ pub struct WeekScan {
     /// Live frame-dissection outcome counters (`wire_*` families;
     /// detached unless built by [`WeekScan::with_obs`]).
     dissect: DissectMetrics,
+    /// Checkpointable shadow of `dissect`.
+    tally: DissectTally,
+    /// Datagrams shed by the bounded intake queue before reaching the
+    /// collector (reported via [`WeekScan::record_shed`]).
+    shed: u64,
     /// Number of member ports active this week (MACs above this id are not
     /// members yet and their frames are classified as non-member traffic).
     member_count: u32,
@@ -256,6 +360,8 @@ impl WeekScan {
             undissectable: 0,
             collector: Collector::new(),
             dissect: DissectMetrics::detached(),
+            tally: DissectTally::default(),
+            shed: 0,
             member_count,
         }
     }
@@ -291,6 +397,7 @@ impl WeekScan {
     pub fn ingest_sample(&mut self, rate: u32, frame_len: u32, snippet: &[u8]) {
         let parsed = Dissection::parse(snippet);
         self.dissect.record(&parsed);
+        self.tally.record(&parsed);
         let d = match parsed {
             Ok(d) => d,
             Err(_) => {
@@ -424,12 +531,25 @@ impl WeekScan {
         &self.collector
     }
 
+    /// Count datagrams the bounded intake queue shed before they reached
+    /// this scan's collector, keeping the no-silent-discard invariant over
+    /// the whole pipeline.
+    pub fn record_shed(&mut self, n: u64) {
+        self.shed = self.shed.saturating_add(n);
+    }
+
+    /// Datagrams shed by the intake queue so far.
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+
     /// Ingest-stream health: collector accounting plus the sample-level
-    /// dissection counter.
+    /// dissection counter and the intake queue's shed count.
     pub fn ingest_health(&self) -> IngestHealth {
         IngestHealth {
             collector: self.collector.stats(),
             undissectable_samples: self.undissectable,
+            shed: self.shed,
         }
     }
 
@@ -437,6 +557,146 @@ impl WeekScan {
     /// factor, so degraded feeds still estimate the full stream.
     pub fn compensated(&self, estimate: &TrafficEstimate) -> TrafficEstimate {
         self.collector.compensate(estimate)
+    }
+
+    /// Serialize the full scan state — cascade totals, per-IP evidence,
+    /// interned domains, dissection tally, shed count, and the nested
+    /// collector state — into a versioned, deterministic byte blob.
+    /// Deterministic: hash maps are written in sorted key order, so equal
+    /// states yield equal bytes.
+    pub fn save_state(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        checkpoint::put_u32(&mut out, WEEKSCAN_STATE_VERSION);
+        checkpoint::put_u8(&mut out, self.week.0);
+        checkpoint::put_u32(&mut out, self.member_count);
+        checkpoint::put_u64(&mut out, self.shed);
+        checkpoint::put_u64(&mut out, self.undissectable);
+        for cat in Category::ALL {
+            let e = self.filter.get(cat);
+            checkpoint::put_u64(&mut out, e.samples);
+            checkpoint::put_u64(&mut out, e.frames);
+            checkpoint::put_u64(&mut out, e.bytes);
+        }
+        checkpoint::put_u64(&mut out, self.domains.names.len() as u64);
+        for name in &self.domains.names {
+            checkpoint::put_str(&mut out, name);
+        }
+        let mut ips: Vec<(&u32, &IpStats)> = self.ips.iter().collect();
+        ips.sort_by_key(|(ip, _)| **ip);
+        checkpoint::put_u64(&mut out, ips.len() as u64);
+        for (ip, s) in ips {
+            checkpoint::put_u32(&mut out, *ip);
+            checkpoint::put_u64(&mut out, s.bytes);
+            checkpoint::put_u32(&mut out, s.samples);
+            checkpoint::put_u16(&mut out, s.evidence.0);
+            checkpoint::put_u32(&mut out, s.member.0);
+            checkpoint::put_u8(&mut out, s.uris.len().min(MAX_URIS_PER_IP) as u8);
+            for id in s.uris.iter().take(MAX_URIS_PER_IP) {
+                checkpoint::put_u32(&mut out, *id);
+            }
+        }
+        for f in self.tally.fields() {
+            checkpoint::put_u64(&mut out, f);
+        }
+        out.extend_from_slice(&self.collector.save_state());
+        out
+    }
+
+    /// Restore a scan from [`WeekScan::save_state`] bytes. The blob is
+    /// validated as hostile input: typed errors (never panics) on
+    /// truncation, version skew, unsorted or duplicate keys, out-of-range
+    /// domain references, or collector accounting that does not balance.
+    /// The restored scan has detached metrics and the frozen test clock;
+    /// use [`WeekScan::bind_obs`] to re-attach instrumentation.
+    pub fn restore_state(bytes: &[u8]) -> Result<WeekScan, StateError> {
+        let mut cur = Cur::new(bytes);
+        let version = cur.u32()?;
+        if version != WEEKSCAN_STATE_VERSION {
+            return Err(StateError::BadVersion(version));
+        }
+        let week = Week(cur.u8()?);
+        let member_count = cur.u32()?;
+        let mut scan = WeekScan::new(week, member_count);
+        scan.shed = cur.u64()?;
+        scan.undissectable = cur.u64()?;
+        for cat in Category::ALL {
+            let samples = cur.u64()?;
+            let frames = cur.u64()?;
+            let bytes = cur.u64()?;
+            if samples > 0 || frames > 0 || bytes > 0 {
+                let e = scan.filter.totals.entry(cat).or_default();
+                e.samples = samples;
+                e.frames = frames;
+                e.bytes = bytes;
+            }
+        }
+        let n_domains = cur.count(8)?;
+        for id in 0..n_domains {
+            let name = cur.str()?;
+            if scan.domains.intern(name) != id as u32 {
+                return Err(StateError::Invalid("duplicate domain in intern table"));
+            }
+        }
+        let domain_count = scan.domains.len() as u32;
+        // Per-IP entry: u32 key + u64 + 2×u32 + u16 + uri count byte.
+        let n_ips = cur.count(19)?;
+        let mut prev_ip: Option<u32> = None;
+        for _ in 0..n_ips {
+            let ip = cur.u32()?;
+            if prev_ip.is_some_and(|p| p >= ip) {
+                return Err(StateError::Invalid("ip keys not strictly increasing"));
+            }
+            prev_ip = Some(ip);
+            let mut s = IpStats {
+                bytes: cur.u64()?,
+                samples: cur.u32()?,
+                evidence: Evidence(cur.u16()?),
+                uris: Vec::new(),
+                member: MemberId(cur.u32()?),
+            };
+            let n_uris = usize::from(cur.u8()?);
+            if n_uris > MAX_URIS_PER_IP {
+                return Err(StateError::Invalid("uri list exceeds the per-ip bound"));
+            }
+            for _ in 0..n_uris {
+                let id = cur.u32()?;
+                if id >= domain_count {
+                    return Err(StateError::Invalid("uri id out of domain-table range"));
+                }
+                if s.uris.contains(&id) {
+                    return Err(StateError::Invalid("duplicate uri id for one ip"));
+                }
+                s.uris.push(id);
+            }
+            scan.ips.insert(ip, s);
+        }
+        scan.tally = DissectTally {
+            frames: cur.u64()?,
+            ipv4_tcp: cur.u64()?,
+            ipv4_udp: cur.u64()?,
+            ipv4_icmp: cur.u64()?,
+            ipv4_other: cur.u64()?,
+            ipv4_truncated: cur.u64()?,
+            ipv6: cur.u64()?,
+            arp: cur.u64()?,
+            other_ethertype: cur.u64()?,
+            malformed_ipv4: cur.u64()?,
+            too_short: cur.u64()?,
+        };
+        scan.collector = Collector::restore_from(&mut cur)?;
+        cur.finish()?;
+        Ok(scan)
+    }
+
+    /// Attach a restored scan to live instrumentation: the nested collector
+    /// replays its `sflow_*` totals, and the dissection tally replays into
+    /// freshly registered `wire_*` counters. After this, the registry reads
+    /// exactly as if the scan had run uninterrupted under it.
+    pub fn bind_obs(&mut self, obs: &Obs) {
+        self.collector.bind_obs(obs);
+        let m = DissectMetrics::register(&obs.registry);
+        self.tally.replay(&m);
+        self.dissect = m;
     }
 }
 
@@ -595,6 +855,90 @@ mod tests {
         assert!(health.fully_accounted());
         assert_eq!(health.undissectable_samples, 1);
         assert_eq!(health.collector.datagrams, 1);
+    }
+
+    /// A scan exercising every checkpointed dimension: cascade totals,
+    /// per-IP evidence, interned domains, undissectables, decode errors,
+    /// and a shed count.
+    fn messy_scan() -> WeekScan {
+        let mut scan = WeekScan::new(Week::REFERENCE, 10);
+        for (port, payload) in [
+            (80u16, &b"GET / HTTP/1.1\r\nHost: a.example\r\n\r\n"[..]),
+            (80, &b"GET / HTTP/1.1\r\nHost: b.example\r\n\r\n"[..]),
+            (443, &[0x16, 0x03, 0x03][..]),
+            (25, &[0x80u8][..]),
+        ] {
+            let frame = tcp_frame(1, 2, payload, port);
+            scan.ingest_sample(16_384, frame.len() as u32, &frame);
+        }
+        scan.ingest(&[1, 2, 3]); // decode error
+        scan.ingest_sample(1, 10, &[0xff; 4]); // undissectable
+        scan.record_shed(3);
+        scan
+    }
+
+    #[test]
+    fn scan_save_restore_round_trips_and_stays_byte_identical() {
+        let scan = messy_scan();
+        let blob = scan.save_state();
+        let restored = WeekScan::restore_state(&blob).expect("restore");
+        assert_eq!(restored.save_state(), blob, "save → restore → save changed bytes");
+        assert_eq!(restored.ingest_health(), scan.ingest_health());
+        assert_eq!(restored.unique_ips(), scan.unique_ips());
+        assert_eq!(restored.domains.len(), scan.domains.len());
+        // Interning continues where it left off.
+        let mut r = restored;
+        let frame = tcp_frame(1, 2, b"GET / HTTP/1.1\r\nHost: a.example\r\n\r\n", 80);
+        r.ingest_sample(16_384, frame.len() as u32, &frame);
+        assert_eq!(r.domains.len(), scan.domains.len(), "known domain re-interned");
+    }
+
+    #[test]
+    fn scan_restore_rejects_corruption_with_typed_errors_never_panics() {
+        let blob = messy_scan().save_state();
+        for cut in 0..blob.len() {
+            let prefix: Vec<u8> = blob.iter().copied().take(cut).collect();
+            assert!(WeekScan::restore_state(&prefix).is_err(), "cut {cut} restored");
+        }
+        for i in 0..blob.len() {
+            let mut bad = blob.clone();
+            if let Some(b) = bad.get_mut(i) {
+                *b ^= 0x01;
+            }
+            // Either a typed rejection or a state whose accounting balances.
+            if let Ok(scan) = WeekScan::restore_state(&bad) {
+                assert!(scan.ingest_health().fully_accounted());
+            }
+        }
+    }
+
+    #[test]
+    fn shed_extends_the_accounting_invariant() {
+        let mut scan = WeekScan::new(Week::REFERENCE, 10);
+        scan.ingest(&[1, 2, 3]);
+        scan.record_shed(7);
+        let h = scan.ingest_health();
+        assert_eq!(h.shed, 7);
+        assert_eq!(h.ingested(), h.collector.datagrams + 7);
+        assert!(h.fully_accounted());
+    }
+
+    #[test]
+    fn scan_bind_obs_replays_into_a_fresh_registry() {
+        let obs_a = ixp_obs::Obs::deterministic();
+        let mut live = WeekScan::with_obs(Week::REFERENCE, 10, &obs_a);
+        let frame = tcp_frame(1, 2, b"GET / HTTP/1.1\r\nHost: a.example\r\n\r\n", 80);
+        live.ingest_sample(16_384, frame.len() as u32, &frame);
+        live.ingest(&[1, 2, 3]);
+        live.ingest_sample(1, 10, &[0xff; 4]);
+        let blob = live.save_state();
+        let obs_b = ixp_obs::Obs::deterministic();
+        let mut restored = WeekScan::restore_state(&blob).expect("restore");
+        restored.bind_obs(&obs_b);
+        assert_eq!(
+            ixp_obs::json::render(&obs_a.snapshot()),
+            ixp_obs::json::render(&obs_b.snapshot())
+        );
     }
 
     #[test]

@@ -20,15 +20,21 @@
 //!   deadline budget, for the active-measurement paths (HTTPS crawl, open
 //!   resolvers) — no real clock, no real sleeping, fully deterministic;
 //! * [`Quarantine`] — consecutive-failure quarantine for persistently dead
-//!   targets, shared across threads.
+//!   targets, shared across threads;
+//! * [`chaos`] — process-level scenarios for the supervised pipeline
+//!   (seeded kill offsets for checkpoint/resume, overload bursts, and
+//!   checkpoint-image corruption), driving the `tests/chaos_soak.rs` gate
+//!   and `repro --exp chaos`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod plan;
 pub mod quarantine;
 pub mod retry;
 
+pub use chaos::{kill_offsets, overload_bursts, BurstWindow};
 pub use plan::{FaultConfig, FaultPlan, FaultStats, OutageWindow};
 pub use quarantine::Quarantine;
 pub use retry::{retry_with_backoff, AttemptLog, RetryPolicy};

@@ -6,7 +6,7 @@
 //!
 //! | rule            | family | scope                                         |
 //! |-----------------|--------|-----------------------------------------------|
-//! | `no-unwrap`     | L1     | stream-facing crates (`ixp-wire`, `ixp-sflow`, `ixp-faults`) |
+//! | `no-unwrap`     | L1     | stream-facing crates (`ixp-wire`, `ixp-sflow`, `ixp-faults`, `ixp-supervisor`) |
 //! | `no-expect`     | L1     | stream-facing crates                          |
 //! | `no-panic`      | L1     | stream-facing crates (`panic!`/`todo!`/`unimplemented!`) |
 //! | `no-unreachable`| L1     | stream-facing crates                          |
@@ -357,12 +357,15 @@ pub fn resolve_rule(name: &str) -> Option<Vec<&'static str>> {
 }
 
 /// L1 scope: source trees of the crates that face the raw datagram stream —
-/// the two packet parsers plus the fault injector (which rewrites encoded
-/// datagrams and must survive anything it is fed, including its own output).
+/// the two packet parsers, the fault injector (which rewrites encoded
+/// datagrams and must survive anything it is fed, including its own output),
+/// and the supervisor (which decodes checkpoint images that may be
+/// truncated or corrupted by the very crash they are recovering from).
 pub(crate) fn l1_applies(path: &str) -> bool {
     path.starts_with("crates/wire/src/")
         || path.starts_with("crates/sflow/src/")
         || path.starts_with("crates/faults/src/")
+        || path.starts_with("crates/supervisor/src/")
 }
 
 /// L2 scope: modules that aggregate counters and must not silently truncate.

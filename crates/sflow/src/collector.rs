@@ -33,6 +33,7 @@ use std::sync::Arc;
 use ixp_obs::{test_clock, Clock, Obs, Stopwatch};
 
 use crate::accounting::TrafficEstimate;
+use crate::checkpoint::{self, Cur, StateError, COLLECTOR_STATE_VERSION};
 use crate::datagram::{CounterSample, Datagram, DecodeError};
 use crate::metrics::CollectorMetrics;
 
@@ -248,6 +249,15 @@ pub struct Collector {
     errors: DecodeErrorCounts,
     unattributed_errors: u64,
     agg: AggTotals,
+    // Monotonic shadows of the metric-only counters (`sflow_seq_lost_total`
+    // / `sflow_seq_recovered_total` / latency-sample count). Registered
+    // counters may be shared across collectors and cannot be read back per
+    // instance, so checkpoint/restore carries these shadows and replays
+    // them into a fresh registry — a resumed run's metrics snapshot is then
+    // byte-identical to the uninterrupted run's.
+    seq_opened: u64,
+    seq_recovered: u64,
+    latency_samples: u64,
     metrics: CollectorMetrics,
     clock: Arc<dyn Clock>,
 }
@@ -261,6 +271,9 @@ impl Default for Collector {
             errors: DecodeErrorCounts::default(),
             unattributed_errors: 0,
             agg: AggTotals::default(),
+            seq_opened: 0,
+            seq_recovered: 0,
+            latency_samples: 0,
             metrics: CollectorMetrics::detached(),
             clock: test_clock(),
         }
@@ -294,6 +307,9 @@ impl Collector {
     /// the outcome is always counted.
     pub fn ingest(&mut self, bytes: &[u8]) -> Ingest {
         let sampled = self.datagrams.is_multiple_of(LATENCY_SAMPLE_EVERY);
+        if sampled {
+            self.latency_samples += 1;
+        }
         let sw = if sampled { Some(Stopwatch::start(self.clock.as_ref())) } else { None };
         let outcome = self.ingest_inner(bytes);
         self.metrics.record(&outcome);
@@ -366,6 +382,7 @@ impl Collector {
                 let missing = u64::from(ahead - 1);
                 src.stats.lost += missing;
                 self.agg.lost += missing;
+                self.seq_opened += missing;
                 self.metrics.lost.add(missing);
                 src.window = if ahead >= REORDER_WINDOW {
                     1
@@ -401,6 +418,7 @@ impl Collector {
             src.stats.lost = before.saturating_sub(1);
             let corrected = before - src.stats.lost;
             self.agg.lost = self.agg.lost.saturating_sub(corrected);
+            self.seq_recovered += corrected;
             self.metrics.recovered.add(corrected);
             src.stats.received += 1;
             self.agg.accepted += 1;
@@ -494,6 +512,206 @@ impl Collector {
     /// factor, so degraded feeds still estimate the full stream.
     pub fn compensate(&self, estimate: &TrafficEstimate) -> TrafficEstimate {
         estimate.scaled(self.stats().compensation_factor())
+    }
+
+    /// Serialize the full collector state — per-source sequence trackers,
+    /// dup-suppression windows, quarantine flags, counter tracks, and all
+    /// accounting totals — into a versioned, deterministic byte blob.
+    ///
+    /// Deterministic means: the same state always yields the same bytes
+    /// (hash maps are emitted in sorted key order), so checkpoints taken
+    /// from identical runs compare equal with `cmp`.
+    pub fn save_state(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        checkpoint::put_u32(&mut out, COLLECTOR_STATE_VERSION);
+        checkpoint::put_u64(&mut out, self.datagrams);
+        checkpoint::put_u64(&mut out, self.errors.truncated);
+        checkpoint::put_u64(&mut out, self.errors.bad_version);
+        checkpoint::put_u64(&mut out, self.errors.unsupported_agent);
+        checkpoint::put_u64(&mut out, self.errors.inconsistent);
+        checkpoint::put_u64(&mut out, self.unattributed_errors);
+        checkpoint::put_u64(&mut out, self.seq_opened);
+        checkpoint::put_u64(&mut out, self.seq_recovered);
+        checkpoint::put_u64(&mut out, self.latency_samples);
+
+        let mut sources: Vec<(&SourceKey, &SourceState)> = self.sources.iter().collect();
+        sources.sort_by_key(|(k, _)| (u32::from(k.agent), k.sub_agent));
+        checkpoint::put_u64(&mut out, sources.len() as u64);
+        for (k, s) in sources {
+            checkpoint::put_u32(&mut out, u32::from(k.agent));
+            checkpoint::put_u32(&mut out, k.sub_agent);
+            checkpoint::put_u32(&mut out, s.last_seq);
+            checkpoint::put_u128(&mut out, s.window);
+            checkpoint::put_u32(&mut out, s.last_uptime);
+            checkpoint::put_bool(&mut out, s.started);
+            checkpoint::put_u32(&mut out, s.error_run);
+            checkpoint::put_u64(&mut out, s.stats.received);
+            checkpoint::put_u64(&mut out, s.stats.duplicates);
+            checkpoint::put_u64(&mut out, s.stats.lost);
+            checkpoint::put_u64(&mut out, s.stats.restarts);
+            checkpoint::put_u64(&mut out, s.stats.decode_errors);
+            checkpoint::put_bool(&mut out, s.stats.quarantined);
+        }
+
+        let mut counters: Vec<(&(Ipv4Addr, u32), &CounterTrack)> = self.counters.iter().collect();
+        counters.sort_by_key(|((agent, source_id), _)| (u32::from(*agent), *source_id));
+        checkpoint::put_u64(&mut out, counters.len() as u64);
+        for ((agent, source_id), t) in counters {
+            checkpoint::put_u32(&mut out, u32::from(*agent));
+            checkpoint::put_u32(&mut out, *source_id);
+            checkpoint::put_u32(&mut out, t.last.sequence);
+            checkpoint::put_u32(&mut out, t.last.source_id);
+            checkpoint::put_u32(&mut out, t.last.if_index);
+            checkpoint::put_u64(&mut out, t.last.if_speed);
+            checkpoint::put_u64(&mut out, t.last.if_in_octets);
+            checkpoint::put_u32(&mut out, t.last.if_in_ucast);
+            checkpoint::put_u64(&mut out, t.last.if_out_octets);
+            checkpoint::put_u32(&mut out, t.last.if_out_ucast);
+            checkpoint::put_u64(&mut out, t.totals.in_octets);
+            checkpoint::put_u64(&mut out, t.totals.out_octets);
+            checkpoint::put_u64(&mut out, t.totals.in_ucast);
+            checkpoint::put_u64(&mut out, t.totals.out_ucast);
+            checkpoint::put_u64(&mut out, t.totals.exports);
+        }
+        out
+    }
+
+    /// Restore a collector from [`Collector::save_state`] bytes, consuming
+    /// the cursor exactly. The blob is validated as hostile input: typed
+    /// errors (never panics) on truncation, version skew, unsorted keys, or
+    /// accounting that does not balance. The restored collector starts with
+    /// detached metrics and the frozen test clock; use
+    /// [`Collector::bind_obs`] to re-attach instrumentation.
+    pub fn restore_state(bytes: &[u8]) -> Result<Collector, StateError> {
+        let mut cur = Cur::new(bytes);
+        let c = Collector::restore_from(&mut cur)?;
+        cur.finish()?;
+        Ok(c)
+    }
+
+    /// Restore from an open cursor (the week-scan checkpoint nests the
+    /// collector state inside its own), leaving the cursor just past the
+    /// collector section.
+    pub fn restore_from(cur: &mut Cur<'_>) -> Result<Collector, StateError> {
+        let version = cur.u32()?;
+        if version != COLLECTOR_STATE_VERSION {
+            return Err(StateError::BadVersion(version));
+        }
+        let mut c = Collector::new();
+        c.datagrams = cur.u64()?;
+        c.errors.truncated = cur.u64()?;
+        c.errors.bad_version = cur.u64()?;
+        c.errors.unsupported_agent = cur.u64()?;
+        c.errors.inconsistent = cur.u64()?;
+        c.unattributed_errors = cur.u64()?;
+        c.seq_opened = cur.u64()?;
+        c.seq_recovered = cur.u64()?;
+        c.latency_samples = cur.u64()?;
+
+        // Per-source entry: 2×u32 key + 3×u32 + u128 + 2×bool + 5×u64.
+        let n_sources = cur.count(78)?;
+        let mut prev_key: Option<(u32, u32)> = None;
+        for _ in 0..n_sources {
+            let agent = cur.u32()?;
+            let sub_agent = cur.u32()?;
+            if prev_key.is_some_and(|p| p >= (agent, sub_agent)) {
+                return Err(StateError::Invalid("source keys not strictly increasing"));
+            }
+            prev_key = Some((agent, sub_agent));
+            let mut s = SourceState::new();
+            s.last_seq = cur.u32()?;
+            s.window = cur.u128()?;
+            s.last_uptime = cur.u32()?;
+            s.started = cur.bool()?;
+            s.error_run = cur.u32()?;
+            s.stats.received = cur.u64()?;
+            s.stats.duplicates = cur.u64()?;
+            s.stats.lost = cur.u64()?;
+            s.stats.restarts = cur.u64()?;
+            s.stats.decode_errors = cur.u64()?;
+            s.stats.quarantined = cur.bool()?;
+            // Rebuild the aggregate from per-source sums: the blob then
+            // cannot smuggle in an aggregate that disagrees with the
+            // sources it claims to summarize.
+            c.agg.accepted = c.agg.accepted.saturating_add(s.stats.received);
+            c.agg.duplicates = c.agg.duplicates.saturating_add(s.stats.duplicates);
+            c.agg.lost = c.agg.lost.saturating_add(s.stats.lost);
+            c.agg.restarts = c.agg.restarts.saturating_add(s.stats.restarts);
+            c.agg.quarantined += u64::from(s.stats.quarantined);
+            let key = SourceKey { agent: Ipv4Addr::from(agent), sub_agent };
+            c.sources.insert(key, s);
+        }
+
+        // Per-counter entry: 2×u32 key + CounterSample (5×u32 + 3×u64) +
+        // CounterTotals (5×u64).
+        let n_counters = cur.count(92)?;
+        let mut prev_key: Option<(u32, u32)> = None;
+        for _ in 0..n_counters {
+            let agent = cur.u32()?;
+            let source_id = cur.u32()?;
+            if prev_key.is_some_and(|p| p >= (agent, source_id)) {
+                return Err(StateError::Invalid("counter keys not strictly increasing"));
+            }
+            prev_key = Some((agent, source_id));
+            let last = CounterSample {
+                sequence: cur.u32()?,
+                source_id: cur.u32()?,
+                if_index: cur.u32()?,
+                if_speed: cur.u64()?,
+                if_in_octets: cur.u64()?,
+                if_in_ucast: cur.u32()?,
+                if_out_octets: cur.u64()?,
+                if_out_ucast: cur.u32()?,
+            };
+            let totals = CounterTotals {
+                in_octets: cur.u64()?,
+                out_octets: cur.u64()?,
+                in_ucast: cur.u64()?,
+                out_ucast: cur.u64()?,
+                exports: cur.u64()?,
+            };
+            c.counters.insert((Ipv4Addr::from(agent), source_id), CounterTrack { last, totals });
+        }
+
+        // The no-silent-discard invariant must already hold in the blob.
+        let errors = c.errors.total();
+        let accounted =
+            c.agg.accepted.checked_add(c.agg.duplicates).and_then(|v| v.checked_add(errors));
+        if accounted != Some(c.datagrams) {
+            return Err(StateError::Invalid("datagram accounting does not balance"));
+        }
+        if c.seq_opened.checked_sub(c.seq_recovered) != Some(c.agg.lost) {
+            return Err(StateError::Invalid("loss accounting does not balance"));
+        }
+        Ok(c)
+    }
+
+    /// Attach a restored collector to live instrumentation: register the
+    /// `sflow_*` families in the bundle's registry, replay the checkpointed
+    /// totals into them, and adopt the bundle's clock. After this, the
+    /// registry reads exactly as if the collector had run uninterrupted
+    /// under it (latency observations replay as zero-duration samples,
+    /// which is what the frozen test clock records anyway).
+    pub fn bind_obs(&mut self, obs: &Obs) {
+        let m = CollectorMetrics::register(&obs.registry);
+        m.datagrams.add(self.datagrams);
+        m.accepted.add(self.agg.accepted);
+        m.duplicates.add(self.agg.duplicates);
+        m.truncated.add(self.errors.truncated);
+        m.bad_version.add(self.errors.bad_version);
+        m.unsupported_agent.add(self.errors.unsupported_agent);
+        m.inconsistent.add(self.errors.inconsistent);
+        m.unattributed.add(self.unattributed_errors);
+        m.lost.add(self.seq_opened);
+        m.recovered.add(self.seq_recovered);
+        m.restarts.add(self.agg.restarts);
+        m.sources.set_max(u64::try_from(self.sources.len()).unwrap_or(u64::MAX));
+        m.quarantined_sources.set_max(self.agg.quarantined);
+        for _ in 0..self.latency_samples {
+            m.ingest_ns.observe(0);
+        }
+        self.metrics = m;
+        self.clock = Arc::clone(&obs.clock);
     }
 }
 
@@ -820,6 +1038,113 @@ mod tests {
             Some(ixp_obs::MetricValue::Histogram(h)) => assert!(h.count >= 1),
             other => panic!("unexpected latency entry: {other:?}"),
         }
+    }
+
+    /// A collector exercising every state dimension: gaps, late arrivals,
+    /// duplicates, restarts, quarantine, counter tracks, unattributed
+    /// garbage.
+    fn messy_collector() -> Collector {
+        let mut c = Collector::new();
+        for seq in [1u32, 2, 5, 5, 3, 9_000, 1] {
+            c.ingest(&dg(0, seq));
+        }
+        c.ingest(&dg_up(1, 1_000, 4_000_000));
+        c.ingest(&dg_up(1, 9_000, 40));
+        let prefix: Vec<u8> = dg(2, 1).iter().copied().take(20).collect();
+        for _ in 0..QUARANTINE_THRESHOLD {
+            c.ingest(&prefix);
+        }
+        c.ingest(&[0u8; 3]);
+        c
+    }
+
+    #[test]
+    fn save_restore_round_trips_and_stays_byte_identical() {
+        let c = messy_collector();
+        let blob = c.save_state();
+        let restored = Collector::restore_state(&blob).expect("restore");
+        assert_eq!(restored.stats(), c.stats());
+        assert_eq!(restored.save_state(), blob, "save → restore → save changed bytes");
+    }
+
+    #[test]
+    fn restore_then_continue_matches_uninterrupted_run() {
+        // Same stream ingested (a) straight through and (b) with a
+        // checkpoint/restore in the middle — the final state must be
+        // byte-identical.
+        let stream: Vec<Vec<u8>> =
+            [1u32, 2, 5, 5, 3, 9_000, 1, 7, 4, 9_001].iter().map(|&s| dg(0, s)).collect();
+        for cut in 0..=stream.len() {
+            let mut a = Collector::new();
+            for b in &stream {
+                a.ingest(b);
+            }
+            let mut head = Collector::new();
+            for b in stream.iter().take(cut) {
+                head.ingest(b);
+            }
+            let mut resumed = Collector::restore_state(&head.save_state()).expect("restore");
+            for b in stream.iter().skip(cut) {
+                resumed.ingest(b);
+            }
+            assert_eq!(resumed.save_state(), a.save_state(), "divergence at cut {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupted_or_truncated_state_is_a_typed_error_never_a_panic() {
+        let blob = messy_collector().save_state();
+        for cut in 0..blob.len() {
+            let prefix: Vec<u8> = blob.iter().copied().take(cut).collect();
+            assert!(Collector::restore_state(&prefix).is_err(), "cut {cut} restored");
+        }
+        // Single-byte corruption anywhere must be rejected (the payload has
+        // no checksum of its own — the accounting and ordering validation
+        // plus the envelope checksum in ixp-supervisor carry that — but it
+        // must never panic and never restore an unbalanced state).
+        for i in 0..blob.len() {
+            let mut bad = blob.clone();
+            if let Some(b) = bad.get_mut(i) {
+                *b ^= 0x80;
+            }
+            if let Ok(restored) = Collector::restore_state(&bad) {
+                let s = restored.stats();
+                assert_eq!(s.datagrams, s.accepted + s.duplicates + s.decode_errors.total());
+            }
+        }
+    }
+
+    #[test]
+    fn restore_rejects_version_skew() {
+        let mut blob = messy_collector().save_state();
+        if let Some(b) = blob.get_mut(3) {
+            *b = 99;
+        }
+        match Collector::restore_state(&blob) {
+            Err(crate::checkpoint::StateError::BadVersion(99)) => {}
+            other => panic!("expected BadVersion(99), got {:?}", other.err()),
+        }
+    }
+
+    #[test]
+    fn bind_obs_replays_checkpointed_totals_into_a_fresh_registry() {
+        // Run instrumented; checkpoint; restore into a new registry. Both
+        // registries must snapshot identically under the frozen clock.
+        let obs_a = ixp_obs::Obs::deterministic();
+        let mut live = Collector::with_obs(&obs_a);
+        for seq in [1u32, 2, 5, 5, 3] {
+            live.ingest(&dg(0, seq));
+        }
+        live.ingest(&[0u8; 3]);
+        let blob = live.save_state();
+
+        let obs_b = ixp_obs::Obs::deterministic();
+        let mut restored = Collector::restore_state(&blob).expect("restore");
+        restored.bind_obs(&obs_b);
+        assert_eq!(
+            ixp_obs::json::render(&obs_a.snapshot()),
+            ixp_obs::json::render(&obs_b.snapshot())
+        );
     }
 
     #[test]

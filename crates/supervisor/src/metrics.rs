@@ -1,0 +1,88 @@
+//! Live supervisor metrics (ixp-obs instrumentation).
+//!
+//! The `supervisor_*` families expose the backpressure and health layer the
+//! same way `sflow_*` exposes the collector: offered/shed counts for the
+//! intake ring, tick and deadline-miss counts for the watchdog, per-state
+//! agent gauges, and a transition counter per destination state.
+//!
+//! All values are replayable from a checkpoint (see
+//! [`Supervisor::bind_obs`](crate::Supervisor::bind_obs)): a resumed run's
+//! registry reads exactly as if the run had never been interrupted.
+
+use ixp_obs::{Counter, Gauge, Registry};
+
+use crate::health::HealthState;
+
+/// Counter/gauge bundle for the supervised ingest layer.
+#[derive(Debug, Clone, Default)]
+pub struct SupervisorMetrics {
+    /// Datagrams offered to the intake ring (`supervisor_offered_total`).
+    pub offered: Counter,
+    /// Datagrams shed by the full ring (`supervisor_shed_total`).
+    pub shed: Counter,
+    /// Watchdog ticks run (`supervisor_ticks_total`).
+    pub ticks: Counter,
+    /// Ticks that missed their drain deadline
+    /// (`supervisor_deadline_misses_total`).
+    pub deadline_misses: Counter,
+    /// High-water mark of the intake ring (`supervisor_ring_depth`).
+    pub ring_depth: Gauge,
+    /// Agents per health state (`supervisor_agents{state="..."}`), indexed
+    /// by [`HealthState::index`].
+    pub agents: [Gauge; 4],
+    /// Health transitions by destination state
+    /// (`supervisor_transitions_total{to="..."}`), same indexing.
+    pub transitions: [Counter; 4],
+}
+
+impl SupervisorMetrics {
+    /// A metrics bundle counting into thin air (no registry).
+    pub fn detached() -> SupervisorMetrics {
+        SupervisorMetrics::default()
+    }
+
+    /// Register the bundle in `registry` under the `supervisor_*` families.
+    pub fn register(registry: &Registry) -> SupervisorMetrics {
+        let agent_gauge =
+            |s: HealthState| registry.gauge(&format!("supervisor_agents{{state=\"{}\"}}", s.as_str()));
+        let transition = |s: HealthState| {
+            registry.counter(&format!("supervisor_transitions_total{{to=\"{}\"}}", s.as_str()))
+        };
+        let [h, d, q, r] = HealthState::ALL;
+        SupervisorMetrics {
+            offered: registry.counter("supervisor_offered_total"),
+            shed: registry.counter("supervisor_shed_total"),
+            ticks: registry.counter("supervisor_ticks_total"),
+            deadline_misses: registry.counter("supervisor_deadline_misses_total"),
+            ring_depth: registry.gauge("supervisor_ring_depth"),
+            agents: [agent_gauge(h), agent_gauge(d), agent_gauge(q), agent_gauge(r)],
+            transitions: [transition(h), transition(d), transition(q), transition(r)],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_register_under_the_documented_names() {
+        let registry = Registry::new();
+        let m = SupervisorMetrics::register(&registry);
+        m.offered.add(5);
+        m.shed.inc();
+        m.agents[HealthState::Degraded.index()].set(2);
+        m.transitions[HealthState::Quarantined.index()].inc();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("supervisor_offered_total"), Some(5));
+        assert_eq!(snap.counter("supervisor_shed_total"), Some(1));
+        assert_eq!(
+            snap.counter("supervisor_transitions_total{to=\"quarantined\"}"),
+            Some(1)
+        );
+        match snap.get("supervisor_agents{state=\"degraded\"}") {
+            Some(ixp_obs::MetricValue::Gauge(v)) => assert_eq!(*v, 2),
+            other => panic!("unexpected gauge entry: {other:?}"),
+        }
+    }
+}

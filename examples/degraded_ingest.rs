@@ -1,17 +1,20 @@
 //! Degraded ingest: replay one week of the study through a seeded
 //! `FaultPlan` — 5 % datagram loss, duplicates, reordering, a mid-week
 //! agent restart — and show how the collector accounts for every fault
-//! while the headline statistics barely move.
+//! while the headline statistics barely move. Then kill the same degraded
+//! run mid-week, checkpoint it, restore, finish — and show the recovered
+//! run is byte-identical to never having crashed at all.
 //!
 //! ```text
 //! cargo run --release --example degraded_ingest
 //! ```
 
 use ixp_vantage::core::analyzer::Analyzer;
-use ixp_vantage::core::report;
+use ixp_vantage::core::{report, WeekScan};
 use ixp_vantage::faults::{FaultConfig, FaultPlan};
 use ixp_vantage::netmodel::{InternetModel, ScaleConfig, Week};
 use ixp_vantage::obs::{prometheus, Obs};
+use ixp_vantage::supervisor::{Supervisor, SupervisorConfig};
 
 fn main() {
     let model = InternetModel::generate(ScaleConfig::tiny(), 2012);
@@ -88,4 +91,59 @@ fn main() {
         report::thousands(compensated.bytes),
         degraded.health.compensation_factor(),
     );
+
+    // ---- kill and resume -------------------------------------------------
+    // The same degraded week, this time under the supervisor: kill the
+    // process at a datagram boundary mid-week, checkpoint, restore from
+    // the checkpoint, replay the rest of the regenerated feed. The
+    // recovered run's report — and its final checkpoint, byte for byte —
+    // must match a run that was never interrupted.
+    println!();
+    println!("kill-and-resume recovery (supervised, checkpoint at datagram 500):");
+    let members = model.registry.members_at(week).len() as u32;
+    let sup_cfg = SupervisorConfig::default();
+    let faulted = |seed: u64| FaultPlan::new(analyzer.feed(week), FaultConfig {
+        seed,
+        drop: 0.05,
+        duplicate: 0.01,
+        reorder: 0.01,
+        restarts: vec![(0, 500)],
+        ..FaultConfig::default()
+    });
+
+    let mut uninterrupted = Supervisor::new(WeekScan::new(week, members), sup_cfg);
+    uninterrupted.run_feed(faulted(2012), None);
+    let reference_ckpt = uninterrupted.checkpoint();
+    let uninterrupted_report = analyzer.report_from_scan(uninterrupted.into_scan());
+
+    let mut crashed = Supervisor::new(WeekScan::new(week, members), sup_cfg);
+    let done = crashed.run_feed(faulted(2012), Some(500));
+    assert!(!done, "the kill offset is mid-week");
+    let checkpoint = crashed.checkpoint();
+    println!(
+        "  killed at offered datagram {} -> sealed checkpoint of {} bytes",
+        crashed.offered(),
+        checkpoint.len()
+    );
+    drop(crashed); // the "process" is gone; only the checkpoint survives
+
+    let mut resumed = Supervisor::restore(&checkpoint, sup_cfg).expect("restore checkpoint");
+    println!("  restored; resuming the feed from datagram {}", resumed.offered());
+    resumed.run_feed(faulted(2012), None);
+    let identical = resumed.checkpoint() == reference_ckpt;
+    let resumed_report = analyzer.report_from_scan(resumed.into_scan());
+
+    println!(
+        "  final checkpoint byte-identical to the uninterrupted run: {}",
+        if identical { "yes" } else { "NO" }
+    );
+    for (label, r, u) in [
+        ("peering IPs", resumed_report.snapshot.peering.ips, uninterrupted_report.snapshot.peering.ips),
+        ("peering prefixes", resumed_report.snapshot.peering.prefixes, uninterrupted_report.snapshot.peering.prefixes),
+        ("peering ASes", resumed_report.snapshot.peering.ases, uninterrupted_report.snapshot.peering.ases),
+        ("accepted datagrams", resumed_report.health.collector.accepted, uninterrupted_report.health.collector.accepted),
+    ] {
+        let mark = if r == u { "==" } else { "!=" };
+        println!("  {label:<18} resumed {r:>8} {mark} uninterrupted {u:>8}");
+    }
 }

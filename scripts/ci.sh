@@ -19,6 +19,21 @@ cargo test -q
 echo "==> cargo test -q --test fault_tolerance (degraded-mode acceptance)"
 cargo test -q --test fault_tolerance
 
+echo "==> cargo test -q --test chaos_soak (kill/resume + overload gate)"
+# The chaos-soak gate replays the reference week under process-level
+# chaos: kill-and-resume at seeded offsets (byte-identical checkpoints
+# and metrics), damaged-checkpoint rejection, overload shedding with
+# exact accounting, and the < 2 % Table-1 drift bar. Budgeted: the soak
+# runs at tiny scale and must not balloon into a minutes-long gate.
+soak_started=$(date +%s)
+cargo test -q --test chaos_soak
+soak_elapsed=$(( $(date +%s) - soak_started ))
+if [ "$soak_elapsed" -gt 120 ]; then
+    echo "ci: chaos-soak runtime budget exceeded: ${soak_elapsed}s > 120s" >&2
+    exit 1
+fi
+echo "ci: chaos soak took ${soak_elapsed}s (budget 120s)"
+
 echo "==> cargo run -p ixp-lint -- --format json > target/lint-report.json"
 # The JSON report is written unconditionally — even when the lint gate
 # below fails, target/lint-report.json holds the findings for triage.
@@ -64,6 +79,28 @@ cmp target/metrics-a.json target/metrics-b.json || {
     exit 1
 }
 cargo test -q --test metrics_smoke
+
+echo "==> supervised resume smoke test (checkpoint byte-identity)"
+# A supervised run killed at a datagram boundary and resumed from its
+# sealed checkpoint must write a metrics snapshot — and a final
+# checkpoint — byte-identical to the run that was never interrupted.
+cargo run -q --release -p ixp-bench --bin repro -- --scale tiny \
+    --checkpoint target/ckpt-whole.bin \
+    --metrics target/metrics-whole.json >/dev/null 2>&1
+cargo run -q --release -p ixp-bench --bin repro -- --scale tiny \
+    --checkpoint target/ckpt-mid.bin --kill-at 400 \
+    --metrics target/metrics-killed.json >/dev/null 2>&1
+cargo run -q --release -p ixp-bench --bin repro -- --scale tiny \
+    --resume target/ckpt-mid.bin --checkpoint target/ckpt-resumed.bin \
+    --metrics target/metrics-resumed.json >/dev/null 2>&1
+cmp target/metrics-whole.json target/metrics-resumed.json || {
+    echo "ci: resumed run's metrics snapshot differs from uninterrupted run" >&2
+    exit 1
+}
+cmp target/ckpt-whole.bin target/ckpt-resumed.bin || {
+    echo "ci: resumed run's final checkpoint differs from uninterrupted run" >&2
+    exit 1
+}
 
 if cargo clippy --version >/dev/null 2>&1 && [ -z "${IXP_CI_OFFLINE:-}" ]; then
     echo "==> cargo clippy --workspace --all-targets"

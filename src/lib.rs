@@ -6,5 +6,6 @@ pub use ixp_faults as faults;
 pub use ixp_netmodel as netmodel;
 pub use ixp_obs as obs;
 pub use ixp_sflow as sflow;
+pub use ixp_supervisor as supervisor;
 pub use ixp_traffic as traffic;
 pub use ixp_wire as wire;
