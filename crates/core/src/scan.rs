@@ -300,6 +300,25 @@ impl DissectTally {
         ]
     }
 
+    /// Inverse of [`DissectTally::fields`]: rebuild from the same order.
+    fn from_fields(f: [u64; 11]) -> DissectTally {
+        let [frames, ipv4_tcp, ipv4_udp, ipv4_icmp, ipv4_other, ipv4_truncated, ipv6, arp, other_ethertype, malformed_ipv4, too_short] =
+            f;
+        DissectTally {
+            frames,
+            ipv4_tcp,
+            ipv4_udp,
+            ipv4_icmp,
+            ipv4_other,
+            ipv4_truncated,
+            ipv6,
+            arp,
+            other_ethertype,
+            malformed_ipv4,
+            too_short,
+        }
+    }
+
     /// Replay the tally into a live bundle (after a restore).
     fn replay(&self, m: &DissectMetrics) {
         m.frames.add(self.frames);
@@ -670,19 +689,13 @@ impl WeekScan {
             }
             scan.ips.insert(ip, s);
         }
-        scan.tally = DissectTally {
-            frames: cur.u64()?,
-            ipv4_tcp: cur.u64()?,
-            ipv4_udp: cur.u64()?,
-            ipv4_icmp: cur.u64()?,
-            ipv4_other: cur.u64()?,
-            ipv4_truncated: cur.u64()?,
-            ipv6: cur.u64()?,
-            arp: cur.u64()?,
-            other_ethertype: cur.u64()?,
-            malformed_ipv4: cur.u64()?,
-            too_short: cur.u64()?,
-        };
+        // Mirror of the save-side `for f in self.tally.fields()` loop, so
+        // the encode/decode field walks stay symmetric (ixp-lint L10).
+        let mut tally_fields = [0u64; 11];
+        for f in &mut tally_fields {
+            *f = cur.u64()?;
+        }
+        scan.tally = DissectTally::from_fields(tally_fields);
         scan.collector = Collector::restore_from(&mut cur)?;
         cur.finish()?;
         Ok(scan)

@@ -5,11 +5,11 @@
 //! parser rides along so tests — and the CI smoke check — can validate
 //! that emitted reports round-trip.
 //!
-//! # Schema (version 2)
+//! # Schema (version 3)
 //!
 //! ```json
 //! {
-//!   "version": 2,
+//!   "version": 3,
 //!   "tool": "ixp-lint",
 //!   "rules": [
 //!     { "id": "no-unwrap", "family": "L1", "severity": "error", "summary": "..." }
@@ -34,12 +34,15 @@
 //! those that fired), so consumers can discover families and ids without
 //! parsing `--explain` output — the CI smoke check greps it for the L8
 //! ids. `findings` is sorted (file, line, rule); `column` is 1-based and
-//! 0 when unknown; `family` is `L1`..`L8` or `meta`; `severity` is
+//! 0 when unknown; `family` is `L1`..`L11` or `meta`; `severity` is
 //! currently always `error` (the field exists so future advisory rules
 //! do not need a schema bump).
 //!
-//! Version 2 added the `rules` array; everything else is unchanged from
-//! version 1.
+//! Version 2 added the `rules` array. Version 3 extends the family set
+//! with `L9` (accounting conservation), `L10` (checkpoint-codec
+//! symmetry), and `L11` (error-flow completeness); the report shape is
+//! unchanged, but consumers keying on the family enumeration must
+//! re-sync, so the version is bumped.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -68,7 +71,7 @@ pub fn escape(s: &str) -> String {
 
 /// Render the full diagnostics report.
 pub fn report(findings: &[Finding], notes: &[String]) -> String {
-    let mut out = String::from("{\n  \"version\": 2,\n  \"tool\": \"ixp-lint\",\n  \"rules\": [");
+    let mut out = String::from("{\n  \"version\": 3,\n  \"tool\": \"ixp-lint\",\n  \"rules\": [");
     for (i, r) in rules::RULES.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -361,7 +364,7 @@ mod tests {
         let notes = vec!["a note".to_string()];
         let text = report(&findings, &notes);
         let v = parse(&text).unwrap();
-        assert_eq!(v.get("version").and_then(Value::as_u64), Some(2));
+        assert_eq!(v.get("version").and_then(Value::as_u64), Some(3));
         assert_eq!(v.get("tool").and_then(Value::as_str), Some("ixp-lint"));
         let rules_arr = v.get("rules").and_then(Value::as_arr).unwrap();
         assert_eq!(rules_arr.len(), crate::rules::RULES.len());

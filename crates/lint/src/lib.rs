@@ -33,9 +33,13 @@
 //! single-threaded run.
 
 pub mod baseline;
+pub mod cache;
 pub mod callgraph;
+pub mod codec_sym;
 pub mod concurrency;
+pub mod conservation;
 pub mod determinism;
+pub mod errorflow;
 pub mod json;
 pub mod lexer;
 pub mod parser;
@@ -216,23 +220,33 @@ fn paren_args(args: &str) -> Option<&str> {
 struct PerFile {
     path: String,
     findings: Vec<Finding>,
+    /// Findings of the pure per-file rules (token rules + determinism):
+    /// the slice of the result the incremental cache may reuse. Empty
+    /// when the cache supplied them (`token_rules: false`).
+    token_findings: Vec<Finding>,
     allows: FileAllows,
     l4: BTreeMap<String, rules::CrateErrorInfo>,
     lexed: Lexed,
     parsed: parser::ParsedFile,
 }
 
-/// Run every per-file pass over one source.
-fn analyze_file(path: String, src: &str) -> PerFile {
+/// Run every per-file pass over one source. `token_rules: false` skips
+/// the cacheable token/determinism rules (a per-file cache hit); the
+/// directive, L4-fact, and parse stages always run — later passes and
+/// the suppression step need their output regardless.
+fn analyze_file(path: String, src: &str, token_rules: bool) -> PerFile {
     let mut findings = Vec::new();
+    let mut token_findings = Vec::new();
     let mut l4 = BTreeMap::new();
     let lexed = lexer::lex(src);
     let allows = parse_directives(&path, &lexed, &mut findings);
-    rules::check_tokens(&path, &lexed, &mut findings);
+    if token_rules {
+        rules::check_tokens(&path, &lexed, &mut token_findings);
+        determinism::check(&path, &lexed, &mut token_findings);
+    }
     rules::collect_error_info(&path, &lexed, &mut l4);
-    determinism::check(&path, &lexed, &mut findings);
     let parsed = parser::parse(&path, &lexed);
-    PerFile { path, findings, allows, l4, lexed, parsed }
+    PerFile { path, findings, token_findings, allows, l4, lexed, parsed }
 }
 
 /// Below this many files the thread fan-out costs more than it saves.
@@ -241,20 +255,20 @@ const PARALLEL_THRESHOLD: usize = 4;
 /// Fan the per-file stage out over a scoped worker pool. Results land in
 /// index-keyed slots, so the returned order — and therefore every
 /// downstream pass — is identical to the sequential path.
-fn analyze_parallel(files: Vec<(String, String)>) -> Vec<PerFile> {
+fn analyze_parallel(files: Vec<(String, String, bool)>) -> Vec<PerFile> {
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
         .min(8)
         .min(files.len());
     if workers <= 1 || files.len() < PARALLEL_THRESHOLD {
-        return files.into_iter().map(|(p, s)| analyze_file(p, &s)).collect();
+        return files.into_iter().map(|(p, s, t)| analyze_file(p, &s, t)).collect();
     }
-    let (work_tx, work_rx) = crossbeam::channel::unbounded::<(usize, String, String)>();
+    let (work_tx, work_rx) = crossbeam::channel::unbounded::<(usize, String, String, bool)>();
     let (done_tx, done_rx) = crossbeam::channel::unbounded::<(usize, PerFile)>();
     let n = files.len();
-    for (i, (path, src)) in files.into_iter().enumerate() {
-        let _ = work_tx.send((i, path, src));
+    for (i, (path, src, token_rules)) in files.into_iter().enumerate() {
+        let _ = work_tx.send((i, path, src, token_rules));
     }
     drop(work_tx);
     let mut slots: Vec<Option<PerFile>> = Vec::new();
@@ -264,8 +278,8 @@ fn analyze_parallel(files: Vec<(String, String)>) -> Vec<PerFile> {
             let work_rx = work_rx.clone();
             let done_tx = done_tx.clone();
             scope.spawn(move |_| {
-                while let Ok((i, path, src)) = work_rx.recv() {
-                    let _ = done_tx.send((i, analyze_file(path, &src)));
+                while let Ok((i, path, src, token_rules)) = work_rx.recv() {
+                    let _ = done_tx.send((i, analyze_file(path, &src, token_rules)));
                 }
             });
         }
@@ -284,14 +298,41 @@ pub fn scan_sources<I>(files: I) -> Vec<Finding>
 where
     I: IntoIterator<Item = (String, String)>,
 {
+    let files: Vec<(String, String)> = files.into_iter().collect();
+    let n = files.len();
+    scan_sources_inner(files, vec![None; n]).0
+}
+
+/// The full pipeline behind [`scan_sources`] and the cached scan.
+/// `cached_tokens[i]` supplies file `i`'s per-file findings from the
+/// cache (skipping its token/determinism rules); `None` computes them.
+/// Returns the final findings plus, for each file that was computed,
+/// `(index, per-file findings)` for the caller to store.
+fn scan_sources_inner(
+    files: Vec<(String, String)>,
+    cached_tokens: Vec<Option<Vec<Finding>>>,
+) -> (Vec<Finding>, Vec<(usize, Vec<Finding>)>) {
     let mut findings = Vec::new();
+    let mut computed_tokens = Vec::new();
     let mut l4_map: BTreeMap<String, rules::CrateErrorInfo> = BTreeMap::new();
     let mut allows: HashMap<String, FileAllows> = HashMap::new();
     let mut lexed_files = Vec::new();
     let mut parsed_files = Vec::new();
 
-    for pf in analyze_parallel(files.into_iter().collect()) {
+    let work: Vec<(String, String, bool)> = files
+        .into_iter()
+        .zip(&cached_tokens)
+        .map(|((p, s), cached)| (p, s, cached.is_none()))
+        .collect();
+    for (i, pf) in analyze_parallel(work).into_iter().enumerate() {
         findings.extend(pf.findings);
+        match &cached_tokens[i] {
+            Some(cached) => findings.extend(cached.iter().cloned()),
+            None => {
+                computed_tokens.push((i, pf.token_findings.clone()));
+                findings.extend(pf.token_findings);
+            }
+        }
         for (group, info) in pf.l4 {
             let entry = l4_map.entry(group).or_default();
             entry.error_enums.extend(info.error_enums);
@@ -308,6 +349,9 @@ where
     callgraph::check(&parsed_files, &table, &allows, &mut findings);
     taint::check(&parsed_files, &lexed_files, &table, &mut findings);
     concurrency::check(&parsed_files, &lexed_files, &table, &mut findings);
+    conservation::check(&parsed_files, &lexed_files, &mut findings);
+    codec_sym::check(&parsed_files, &lexed_files, &mut findings);
+    errorflow::check(&parsed_files, &lexed_files, &table, &mut findings);
 
     findings.retain(|f| {
         f.rule == "bad-directive"
@@ -316,7 +360,43 @@ where
     findings.sort_by(|a, b| {
         (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
     });
-    findings
+    (findings, computed_tokens)
+}
+
+/// [`scan_sources`] through the incremental cache at `dir` (see
+/// [`cache`]): a whole-workspace fixpoint hit skips all analysis; per
+/// changed file only its token rules recompute, everything cross-file
+/// always recomputes. Results are identical to an uncached scan.
+pub fn scan_sources_cached(
+    files: Vec<(String, String)>,
+    dir: &Path,
+) -> (Vec<Finding>, cache::CacheStats) {
+    let registry = cache::registry_digest();
+    let digests: Vec<u64> =
+        files.iter().map(|(_, src)| cache::fnv64(src.as_bytes())).collect();
+    let workspace = cache::workspace_digest(&files, &digests);
+    let mut stats = cache::CacheStats::default();
+    if let Some(findings) = cache::load_fixpoint(dir, registry, workspace) {
+        stats.fixpoint_hit = true;
+        stats.file_hits = files.len();
+        return (findings, stats);
+    }
+    let cached_tokens: Vec<Option<Vec<Finding>>> = files
+        .iter()
+        .zip(&digests)
+        .map(|((path, _), digest)| cache::load_per_file(dir, path, *digest, registry))
+        .collect();
+    stats.file_hits = cached_tokens.iter().filter(|c| c.is_some()).count();
+    stats.file_misses = files.len() - stats.file_hits;
+    let keys: Vec<(String, u64)> =
+        files.iter().zip(&digests).map(|((p, _), d)| (p.clone(), *d)).collect();
+    let (findings, computed) = scan_sources_inner(files, cached_tokens);
+    for (i, token_findings) in &computed {
+        let (path, digest) = &keys[*i];
+        cache::store_per_file(dir, path, *digest, registry, token_findings);
+    }
+    cache::store_fixpoint(dir, registry, workspace, &findings);
+    (findings, stats)
 }
 
 /// Directory names the walker never descends into: build output, the
@@ -343,8 +423,9 @@ fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()>
     Ok(())
 }
 
-/// Lint every `.rs` file under `root` (a workspace checkout).
-pub fn scan_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+/// Collect every lintable `.rs` file under `root`, as sorted
+/// workspace-relative (path, content) pairs.
+fn collect_workspace_files(root: &Path) -> io::Result<Vec<(String, String)>> {
     let mut paths = Vec::new();
     collect_rs(root, root, &mut paths)?;
     // The general walk skips vendor/ (stand-ins are exempt from the
@@ -369,7 +450,20 @@ pub fn scan_workspace(root: &Path) -> io::Result<Vec<Finding>> {
             .join("/");
         files.push((rel, fs::read_to_string(&p)?));
     }
-    Ok(scan_sources(files))
+    Ok(files)
+}
+
+/// Lint every `.rs` file under `root` (a workspace checkout).
+pub fn scan_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    Ok(scan_sources(collect_workspace_files(root)?))
+}
+
+/// [`scan_workspace`] through the incremental cache at `cache_dir`.
+pub fn scan_workspace_cached(
+    root: &Path,
+    cache_dir: &Path,
+) -> io::Result<(Vec<Finding>, cache::CacheStats)> {
+    Ok(scan_sources_cached(collect_workspace_files(root)?, cache_dir))
 }
 
 /// Walk up from `start` looking for a `Cargo.toml` declaring `[workspace]`.

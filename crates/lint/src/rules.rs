@@ -23,6 +23,10 @@
 //! | `shared-state-escape` | L8 | every crate `src/` tree + `vendor/*/src/` |
 //! | `atomic-ordering` | L8 | every crate `src/` tree + `vendor/*/src/` |
 //! | `order-dependent-merge` | L8 | every crate `src/` tree + `vendor/*/src/` |
+//! | `unaccounted-drop` | L9 | datagram-consuming paths of `sflow::collector`, `supervisor::{ring, supervisor}`, `core::scan` |
+//! | `codec-asymmetry` | L10 | registered checkpoint save/restore pairs |
+//! | `schema-drift` | L10 | registered pairs (digest ratchet) + unregistered checkpoint-shaped codecs |
+//! | `error-sink` | L11 | every crate `src/` tree |
 //!
 //! Test code (`#[cfg(test)]` items) is exempt from every family except L4.
 
@@ -37,7 +41,7 @@ use crate::Finding;
 pub struct RuleInfo {
     /// Rule id as it appears in findings and directives.
     pub id: &'static str,
-    /// Family tag: `L1`..`L8`, or `meta` for the directive checker.
+    /// Family tag: `L1`..`L11`, or `meta` for the directive checker.
     pub family: &'static str,
     /// Diagnostic severity (currently always `error`; the field exists so
     /// advisory rules can be added without a JSON schema bump).
@@ -272,6 +276,71 @@ pub const RULES: &[RuleInfo] = &[
                   the ROADMAP-1 shard merge must be seed-stable.",
     },
     RuleInfo {
+        id: "unaccounted-drop",
+        family: "L9",
+        severity: "error",
+        summary: "datagram-consuming paths must increment an accounting bucket on every exit",
+        explain: "The conservation invariant `ingested = accepted + duplicates + \
+                  errors + shed` (DESIGN.md §9/§11) only holds if every code \
+                  path that consumes a datagram — accept, dedupe, decode-error, \
+                  shed, quarantine — increments exactly one bucket before it \
+                  exits. This pass splits each consuming fn (`offer`/`ingest*` \
+                  with a payload parameter) into segments at every `return`: a \
+                  segment that exits without a counter bump (`<bucket> += ..`), \
+                  a counting call (`.inc()`/`.add()`/`.record*()`/...), or a \
+                  transfer to another consuming fn is a silent drop. Count the \
+                  datagram, hand it on, or vouch the exit with \
+                  allow(unaccounted-drop) and a reason.",
+    },
+    RuleInfo {
+        id: "codec-asymmetry",
+        family: "L10",
+        severity: "error",
+        summary: "checkpoint encode/decode pairs must walk the same ordered field list",
+        explain: "Crash recovery restores state by replaying the writer's field \
+                  list in order (DESIGN.md §11); if `save` and `restore` \
+                  disagree about one width, loop, or nested-codec call, every \
+                  checkpoint on disk is misread from that field on. Each pair \
+                  in the codec registry (crates/lint/src/codec_sym.rs) is \
+                  abstracted to a width/loop/nested symbol sequence and the \
+                  reader must mirror the writer exactly; versioned pairs must \
+                  frame a `u32` version const first, sealed pairs must ride in \
+                  the `seal`/`open` envelope, and the envelope itself must \
+                  write and verify the magic/version/length/trailer frame.",
+    },
+    RuleInfo {
+        id: "schema-drift",
+        family: "L10",
+        severity: "error",
+        summary: "checkpoint schemas may only change together with a version bump",
+        explain: "Every registered codec writer has an FNV-1a-64 digest of its \
+                  field schema (widths, loops, nested codecs, and the written \
+                  expressions) pinned in crates/lint/src/codec_sym.rs. \
+                  Renaming, reordering, adding, or dropping a field changes \
+                  the digest, and the lint fails until the format version is \
+                  bumped and the pinned digest updated in the same change — \
+                  old checkpoints then fail closed with `BadVersion` instead \
+                  of being misdecoded. Codec-shaped fns (two or more field \
+                  writes/reads) outside the registry are also flagged: new \
+                  codecs must enter the ratchet.",
+    },
+    RuleInfo {
+        id: "error-sink",
+        family: "L11",
+        severity: "error",
+        summary: "no silently discarded `Result` on stream-facing paths",
+        explain: "A decode/restore error that evaporates is a lost datagram the \
+                  accounting never saw — the dynamic invariants can no longer \
+                  notice it. On stream-facing paths, `let _ = fallible()`, a \
+                  bare `fallible().ok();`, and `fallible().unwrap_or_default()` \
+                  are findings; fallibility is resolved interprocedurally \
+                  through the workspace symbol table (any fn returning \
+                  `Result`) plus the `Cur`/decode/restore primitives. \
+                  Propagate with `?`, convert the error into a counted bucket \
+                  or metric, or vouch the site with allow(error-sink) and a \
+                  reason.",
+    },
+    RuleInfo {
         id: "bad-directive",
         family: "meta",
         severity: "error",
@@ -306,6 +375,10 @@ pub const ALL_RULES: &[&str] = &[
     "shared-state-escape",
     "atomic-ordering",
     "order-dependent-merge",
+    "unaccounted-drop",
+    "codec-asymmetry",
+    "schema-drift",
+    "error-sink",
     "bad-directive",
 ];
 
@@ -332,12 +405,21 @@ pub const L8_RULES: &[&str] = &[
     "order-dependent-merge",
 ];
 
+/// The L9 family: the accounting-conservation invariant, held statically.
+pub const L9_RULES: &[&str] = &["unaccounted-drop"];
+
+/// The L10 family: checkpoint-codec symmetry and the schema-digest ratchet.
+pub const L10_RULES: &[&str] = &["codec-asymmetry", "schema-drift"];
+
+/// The L11 family: error-flow completeness on stream-facing paths.
+pub const L11_RULES: &[&str] = &["error-sink"];
+
 /// Registry lookup by rule id.
 pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
     RULES.iter().find(|r| r.id == id)
 }
 
-/// Expand a rule name or family alias (`l1`..`l8`) into concrete rules.
+/// Expand a rule name or family alias (`l1`..`l11`) into concrete rules.
 /// Returns `None` for unknown names.
 pub fn resolve_rule(name: &str) -> Option<Vec<&'static str>> {
     if let Some(&r) = ALL_RULES.iter().find(|r| **r == name) {
@@ -352,6 +434,9 @@ pub fn resolve_rule(name: &str) -> Option<Vec<&'static str>> {
         "l6" | "L6" => Some(L6_RULES.to_vec()),
         "l7" | "L7" => Some(L7_RULES.to_vec()),
         "l8" | "L8" => Some(L8_RULES.to_vec()),
+        "l9" | "L9" => Some(L9_RULES.to_vec()),
+        "l10" | "L10" => Some(L10_RULES.to_vec()),
+        "l11" | "L11" => Some(L11_RULES.to_vec()),
         _ => None,
     }
 }
@@ -432,9 +517,10 @@ pub fn check_tokens(path: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
                 if name == "as" {
                     if let Some(Kind::Ident(target)) = next {
                         if NARROW_TARGETS.contains(&target.as_str()) {
-                            out.push(Finding::new(
+                            out.push(Finding::at(
                                 path,
                                 t.line,
+                                t.col,
                                 "no-narrow-cast",
                                 &format!(
                                     "narrowing `as {target}` in an accounting module; \
@@ -451,27 +537,31 @@ pub fn check_tokens(path: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
                 let after_dot = prev == Some(&Kind::Punct('.'));
                 let bang = next == Some(&Kind::Punct('!'));
                 match name.as_str() {
-                    "unwrap" if after_dot => out.push(Finding::new(
+                    "unwrap" if after_dot => out.push(Finding::at(
                         path,
                         t.line,
+                        t.col,
                         "no-unwrap",
                         "`.unwrap()` in a parser crate; return `Error` instead",
                     )),
-                    "expect" if after_dot => out.push(Finding::new(
+                    "expect" if after_dot => out.push(Finding::at(
                         path,
                         t.line,
+                        t.col,
                         "no-expect",
                         "`.expect()` in a parser crate; return `Error` instead",
                     )),
-                    "panic" | "todo" | "unimplemented" if bang => out.push(Finding::new(
+                    "panic" | "todo" | "unimplemented" if bang => out.push(Finding::at(
                         path,
                         t.line,
+                        t.col,
                         "no-panic",
                         &format!("`{name}!` in a parser crate; decoders must not panic"),
                     )),
-                    "unreachable" if bang => out.push(Finding::new(
+                    "unreachable" if bang => out.push(Finding::at(
                         path,
                         t.line,
+                        t.col,
                         "no-unreachable",
                         "`unreachable!` in a parser crate; return `Error` for impossible states",
                     )),
@@ -487,9 +577,10 @@ pub fn check_tokens(path: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
                     _ => false,
                 };
                 if indexable {
-                    out.push(Finding::new(
+                    out.push(Finding::at(
                         path,
                         t.line,
+                        t.col,
                         "no-index",
                         "`[..]` indexing/slicing can panic; use `.get()` or slice patterns",
                     ));
@@ -499,9 +590,10 @@ pub fn check_tokens(path: &str, lexed: &Lexed, out: &mut Vec<Finding>) {
                 let float_adjacent = matches!(prev, Some(Kind::Float))
                     || matches!(next, Some(&Kind::Float));
                 if float_adjacent {
-                    out.push(Finding::new(
+                    out.push(Finding::at(
                         path,
                         t.line,
+                        t.col,
                         "no-float-eq",
                         "exact float comparison; compare against a tolerance instead",
                     ));
@@ -790,6 +882,9 @@ mod tests { pub enum TestError { X } }
         assert_eq!(resolve_rule("l6").map(|v| v.len()), Some(3));
         assert_eq!(resolve_rule("l7").map(|v| v.len()), Some(4));
         assert_eq!(resolve_rule("l8").map(|v| v.len()), Some(5));
+        assert_eq!(resolve_rule("l9").map(|v| v.len()), Some(1));
+        assert_eq!(resolve_rule("l10").map(|v| v.len()), Some(2));
+        assert_eq!(resolve_rule("l11").map(|v| v.len()), Some(1));
         assert_eq!(resolve_rule("no-index"), Some(vec!["no-index"]));
         assert_eq!(resolve_rule("panic-path"), Some(vec!["panic-path"]));
         assert_eq!(resolve_rule("nope"), None);
@@ -804,7 +899,8 @@ mod tests { pub enum TestError { X } }
             assert!(
                 matches!(
                     info.family,
-                    "L1" | "L2" | "L3" | "L4" | "L5" | "L6" | "L7" | "L8" | "meta"
+                    "L1" | "L2" | "L3" | "L4" | "L5" | "L6" | "L7" | "L8" | "L9" | "L10"
+                        | "L11" | "meta"
                 ),
                 "{id} has odd family {}",
                 info.family

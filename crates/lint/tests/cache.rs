@@ -1,0 +1,162 @@
+//! Invalidation contract of the content-hash lint cache:
+//!
+//! * cold vs warm runs of an unchanged tree produce byte-identical
+//!   reports, with the warm run answered entirely from the fixpoint
+//!   entry (no analysis at all);
+//! * a one-byte edit misses the fixpoint and exactly one per-file entry
+//!   — every other file's token findings load from cache — and the
+//!   result is indistinguishable from an uncached scan (the cross-file
+//!   fixpoint passes L4-L11 always recompute).
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+use proptest::{collection, sample};
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+fn scratch_cache() -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "ixp-lint-cache-it-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn tree() -> Vec<(String, String)> {
+    vec![
+        (
+            "crates/wire/src/lib.rs".to_string(),
+            "pub fn first(b: &[u8]) -> u8 {\n    b[0]\n}\n".to_string(),
+        ),
+        (
+            "crates/core/src/report.rs".to_string(),
+            "pub fn total(xs: &[u64]) -> u64 {\n    xs.iter().sum()\n}\n".to_string(),
+        ),
+        (
+            "crates/sflow/src/clean.rs".to_string(),
+            "pub fn double(x: u64) -> u64 {\n    x * 2\n}\n".to_string(),
+        ),
+    ]
+}
+
+#[test]
+fn cold_then_warm_is_byte_identical_and_skips_analysis() {
+    let dir = scratch_cache();
+    let files = tree();
+
+    let (cold, s1) = ixp_lint::scan_sources_cached(files.clone(), &dir);
+    assert!(!s1.fixpoint_hit);
+    assert_eq!(s1.file_misses, files.len());
+    assert_eq!(s1.file_hits, 0);
+    assert!(cold.iter().any(|f| f.rule == "no-index"), "{cold:?}");
+
+    let (warm, s2) = ixp_lint::scan_sources_cached(files.clone(), &dir);
+    assert!(s2.fixpoint_hit, "unchanged tree must answer from the fixpoint");
+    assert_eq!(warm, cold);
+    assert_eq!(
+        ixp_lint::json::report(&warm, &[]),
+        ixp_lint::json::report(&cold, &[]),
+        "cold and warm reports must be byte-identical"
+    );
+
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn one_byte_edit_misses_exactly_one_file() {
+    let dir = scratch_cache();
+    let files = tree();
+    let (_, _) = ixp_lint::scan_sources_cached(files.clone(), &dir);
+
+    // Single-byte edit: `b[0]` -> `b[1]`. Same rule fires, new content digest.
+    let mut edited = files.clone();
+    edited[0].1 = edited[0].1.replace("b[0]", "b[1]");
+    assert_eq!(edited[0].1.len(), files[0].1.len());
+
+    let (after, s) = ixp_lint::scan_sources_cached(edited.clone(), &dir);
+    assert!(!s.fixpoint_hit, "edited tree must not answer from the fixpoint");
+    assert_eq!(s.file_misses, 1, "exactly the edited file recomputes");
+    assert_eq!(s.file_hits, files.len() - 1, "every other file loads from cache");
+    assert_eq!(
+        after,
+        ixp_lint::scan_sources(edited),
+        "cached scan must equal an uncached scan of the edited tree"
+    );
+
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn rule_registry_digest_guards_the_fixpoint() {
+    // A fixpoint stored under a different registry digest must not load:
+    // simulated by storing under a perturbed digest directly.
+    let dir = scratch_cache();
+    let findings = vec![ixp_lint::Finding::at("x.rs", 1, 1, "no-unwrap", "m")];
+    let registry = ixp_lint::cache::registry_digest();
+    ixp_lint::cache::store_fixpoint(&dir, registry ^ 1, 42, &findings);
+    assert!(ixp_lint::cache::load_fixpoint(&dir, registry, 42).is_none());
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// Fragments with deterministic findings, for the property test.
+const FRAGMENTS: &[&str] = &[
+    "pub fn a(b: &[u8]) -> u8 { b[0] }\n",
+    "pub fn b(v: Option<u8>) -> u8 { v.unwrap() }\n",
+    "pub fn c() { panic!(\"boom\"); }\n",
+    "pub fn d(x: u64) -> u64 { x + 1 }\n",
+    "// just a comment\n",
+];
+
+const PATHS: &[&str] = &[
+    "crates/wire/src/a.rs",
+    "crates/wire/src/b.rs",
+    "crates/sflow/src/c.rs",
+    "crates/core/src/d.rs",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn edits_invalidate_exactly_the_edited_file(
+        picks in collection::vec(collection::vec(any::<sample::Index>(), 1..4), 2..5),
+        edit in any::<sample::Index>(),
+    ) {
+        let files: Vec<(String, String)> = picks
+            .iter()
+            .enumerate()
+            .map(|(i, ps)| {
+                let src: String =
+                    ps.iter().map(|p| FRAGMENTS[p.index(FRAGMENTS.len())]).collect();
+                (PATHS[i].to_string(), src)
+            })
+            .collect();
+        let dir = scratch_cache();
+
+        let (cold, s1) = ixp_lint::scan_sources_cached(files.clone(), &dir);
+        prop_assert!(!s1.fixpoint_hit);
+        let (warm, s2) = ixp_lint::scan_sources_cached(files.clone(), &dir);
+        prop_assert!(s2.fixpoint_hit);
+        prop_assert_eq!(&warm, &cold);
+        prop_assert_eq!(
+            ixp_lint::json::report(&warm, &[]),
+            ixp_lint::json::report(&cold, &[])
+        );
+
+        // Append one byte to one file: that file (and only that file)
+        // recomputes; the merged result matches an uncached scan.
+        let k = edit.index(files.len());
+        let mut edited = files.clone();
+        edited[k].1.push(' ');
+        let (after, s3) = ixp_lint::scan_sources_cached(edited.clone(), &dir);
+        prop_assert!(!s3.fixpoint_hit);
+        prop_assert_eq!(s3.file_misses, 1);
+        prop_assert_eq!(s3.file_hits, files.len() - 1);
+        prop_assert_eq!(after, ixp_lint::scan_sources(edited));
+
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -43,7 +43,12 @@ fn violations_tree_exits_one_with_findings_on_stdout() {
     assert!(stdout.contains("crates/gamma/src/lib.rs:30: atomic-ordering: "));
     assert!(stdout.contains("crates/gamma/src/lib.rs:47: order-dependent-merge: "));
     let stderr = String::from_utf8(out.stderr).unwrap();
-    assert!(stderr.contains("25 violation(s)"), "stderr was: {stderr}");
+    // And the L9-L11 invariant families.
+    assert!(stdout.contains("crates/supervisor/src/intake.rs:14: unaccounted-drop: "));
+    assert!(stdout.contains("crates/supervisor/src/codec_pair.rs:16: codec-asymmetry: "));
+    assert!(stdout.contains("crates/core/src/codec_noreg.rs:5: schema-drift: "));
+    assert!(stdout.contains("crates/sflow/src/sink.rs:13: error-sink: "));
+    assert!(stderr.contains("32 violation(s)"), "stderr was: {stderr}");
 }
 
 #[test]
@@ -53,16 +58,21 @@ fn json_format_emits_the_documented_schema() {
     assert_eq!(out.status.code(), Some(1));
     let stdout = String::from_utf8(out.stdout).unwrap();
     let v = ixp_lint::json::parse(&stdout).expect("report must be valid JSON");
-    assert_eq!(v.get("version").and_then(|s| s.as_u64()), Some(2));
+    assert_eq!(v.get("version").and_then(|s| s.as_u64()), Some(3));
     let rules = v.get("rules").and_then(|r| r.as_arr()).expect("rules array");
-    for id in ixp_lint::rules::L8_RULES {
+    for id in ixp_lint::rules::L8_RULES
+        .iter()
+        .chain(ixp_lint::rules::L9_RULES)
+        .chain(ixp_lint::rules::L10_RULES)
+        .chain(ixp_lint::rules::L11_RULES)
+    {
         assert!(
-            rules.iter().any(|r| r.get("id").and_then(|i| i.as_str()) == Some(id)),
+            rules.iter().any(|r| r.get("id").and_then(|i| i.as_str()) == Some(*id)),
             "rule {id} missing from the schema's rules array"
         );
     }
     let findings = v.get("findings").and_then(|f| f.as_arr()).expect("findings array");
-    assert_eq!(v.get("summary").and_then(|s| s.get("total")).and_then(|t| t.as_u64()), Some(25));
+    assert_eq!(v.get("summary").and_then(|s| s.get("total")).and_then(|t| t.as_u64()), Some(32));
     let cycle = findings
         .iter()
         .find(|f| f.get("rule").and_then(|r| r.as_str()) == Some("lock-order-cycle"))
@@ -90,7 +100,7 @@ fn json_format_on_the_workspace_parses_cleanly() {
     assert_eq!(out.status.code(), Some(0), "workspace must lint clean");
     let stdout = String::from_utf8(out.stdout).unwrap();
     let v = ixp_lint::json::parse(&stdout).expect("workspace report must be valid JSON");
-    assert_eq!(v.get("version").and_then(|s| s.as_u64()), Some(2));
+    assert_eq!(v.get("version").and_then(|s| s.as_u64()), Some(3));
     assert_eq!(v.get("summary").and_then(|s| s.get("total")).and_then(|t| t.as_u64()), Some(0));
 }
 

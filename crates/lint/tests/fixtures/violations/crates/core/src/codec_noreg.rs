@@ -1,0 +1,14 @@
+//! Fixture: an encode/decode pair missing from the codec registry.
+
+use crate::checkpoint::{self, Cur, StateError};
+
+pub fn save_pair(out: &mut Vec<u8>, lo: u64, hi: u64) {
+    checkpoint::put_u64(out, lo);
+    checkpoint::put_u64(out, hi);
+}
+
+pub fn load_pair(cur: &mut Cur<'_>) -> Result<(u64, u64), StateError> {
+    let lo = cur.u64()?;
+    let hi = cur.u64()?;
+    Ok((lo, hi))
+}

@@ -1,0 +1,16 @@
+//! Fixture: decode errors silently discarded.
+
+pub struct Malformed;
+
+fn parse(d: &[u8]) -> Result<u64, Malformed> {
+    if d.is_empty() {
+        return Err(Malformed);
+    }
+    Ok(1)
+}
+
+pub fn drain(d: &[u8]) -> u64 {
+    let _ = parse(d);
+    parse(d).ok();
+    parse(d).unwrap_or_default()
+}

@@ -1,0 +1,20 @@
+//! Fixture: a checkpoint pair whose reader dropped a field.
+
+use crate::checkpoint::{self, Cur, StateError};
+
+pub struct MiniState {
+    ticks: u64,
+    width: u32,
+}
+
+impl MiniState {
+    pub fn save(&self, out: &mut Vec<u8>) {
+        checkpoint::put_u64(out, self.ticks);
+        checkpoint::put_u32(out, self.width);
+    }
+
+    pub fn restore(cur: &mut Cur<'_>) -> Result<MiniState, StateError> {
+        let ticks = cur.u64()?;
+        Ok(MiniState { ticks, width: 0 })
+    }
+}

@@ -1,0 +1,24 @@
+//! Fixture: an intake path that sheds a datagram without counting it.
+
+pub struct Intake {
+    queue: Vec<Vec<u8>>,
+    shed: u64,
+    accepted: u64,
+    limit: usize,
+}
+
+impl Intake {
+    /// Offer one datagram; empty datagrams vanish uncounted (the bug).
+    pub fn offer(&mut self, datagram: Vec<u8>) -> bool {
+        if datagram.is_empty() {
+            return false;
+        }
+        if self.queue.len() >= self.limit {
+            self.shed += 1;
+            return false;
+        }
+        self.queue.push(datagram);
+        self.accepted += 1;
+        true
+    }
+}

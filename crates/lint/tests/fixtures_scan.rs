@@ -16,6 +16,8 @@ fn violations_tree_reports_every_rule_exactly() {
     let expected: Vec<(String, u32, &str)> = [
         ("crates/alpha/src/lib.rs", 11, "lock-order-cycle"),
         ("crates/badcrate/src/lib.rs", 1, "error-impl"),
+        ("crates/core/src/codec_noreg.rs", 5, "schema-drift"),
+        ("crates/core/src/codec_noreg.rs", 10, "schema-drift"),
         ("crates/core/src/report.rs", 5, "hash-iter-order"),
         ("crates/core/src/timing.rs", 3, "obs-clock-boundary"),
         ("crates/core/src/visibility.rs", 2, "no-float-eq"),
@@ -29,9 +31,14 @@ fn violations_tree_reports_every_rule_exactly() {
         ("crates/gamma/src/lib.rs", 47, "order-dependent-merge"),
         ("crates/gamma/src/lib.rs", 48, "order-dependent-merge"),
         ("crates/sflow/src/accounting.rs", 2, "no-narrow-cast"),
+        ("crates/sflow/src/sink.rs", 13, "error-sink"),
+        ("crates/sflow/src/sink.rs", 14, "error-sink"),
+        ("crates/sflow/src/sink.rs", 15, "error-sink"),
         ("crates/sflow/src/taint.rs", 5, "tainted-capacity"),
         ("crates/sflow/src/taint.rs", 6, "tainted-arith"),
         ("crates/sflow/src/taint.rs", 8, "tainted-slice-len"),
+        ("crates/supervisor/src/codec_pair.rs", 16, "codec-asymmetry"),
+        ("crates/supervisor/src/intake.rs", 14, "unaccounted-drop"),
         ("crates/wire/src/bad.rs", 2, "no-unwrap"),
         ("crates/wire/src/bad.rs", 3, "no-expect"),
         ("crates/wire/src/bad.rs", 5, "no-panic"),

@@ -42,7 +42,7 @@ fn baseline_entry_count_never_grows() {
 
 /// Every surface that enumerates rules — the registry behind `--explain`,
 /// the `--rules` alias resolver, and the JSON schema's `rules` array —
-/// must agree on the same 22 ids. A rule added to one surface but not the
+/// must agree on the same 26 ids. A rule added to one surface but not the
 /// others fails here, not in the field.
 #[test]
 fn registry_explain_and_json_schema_stay_in_sync() {
@@ -63,7 +63,9 @@ fn registry_explain_and_json_schema_stay_in_sync() {
     // The family aliases partition ALL_RULES exactly (bad-directive is the
     // one rule outside any lN family).
     let mut from_aliases = BTreeSet::new();
-    for alias in ["l1", "l2", "l3", "l4", "l5", "l6", "l7", "l8", "bad-directive"] {
+    for alias in
+        ["l1", "l2", "l3", "l4", "l5", "l6", "l7", "l8", "l9", "l10", "l11", "bad-directive"]
+    {
         for id in ixp_lint::rules::resolve_rule(alias).expect("family alias resolves") {
             assert!(from_aliases.insert(id), "rule {id} appears in two families");
         }

@@ -154,6 +154,7 @@ impl Datagram {
     }
 
     /// Decode from the XDR wire format.
+    // ixp-lint: allow(schema-drift) sFlow v5 wire codec; the schema is fixed by the protocol spec, not the checkpoint ratchet
     pub fn decode(data: &[u8]) -> Result<Datagram, DecodeError> {
         let mut r = Reader::new(data);
         let version = r.u32()?;
@@ -267,6 +268,7 @@ fn encode_counter_sample(out: &mut Vec<u8>, c: &CounterSample) {
     out[len_pos..len_pos + 4].copy_from_slice(&body_len.to_be_bytes());
 }
 
+// ixp-lint: allow(schema-drift) sFlow v5 wire codec; the schema is fixed by the protocol spec, not the checkpoint ratchet
 fn decode_counter_sample(r: &mut Reader<'_>, sample_len: usize) -> Result<DecodedSample, DecodeError> {
     let end = r
         .position()
@@ -316,6 +318,7 @@ fn decode_counter_sample(r: &mut Reader<'_>, sample_len: usize) -> Result<Decode
 }
 
 /// Decode one sample; unknown sample types are skipped.
+// ixp-lint: allow(schema-drift) sFlow v5 wire codec; the schema is fixed by the protocol spec, not the checkpoint ratchet
 fn decode_sample(r: &mut Reader<'_>) -> Result<DecodedSample, DecodeError> {
     let sample_type = r.u32()?;
     let sample_len = r.u32()? as usize;

@@ -34,33 +34,58 @@ if [ "$soak_elapsed" -gt 120 ]; then
 fi
 echo "ci: chaos soak took ${soak_elapsed}s (budget 120s)"
 
-echo "==> cargo run -p ixp-lint -- --format json > target/lint-report.json"
+echo "==> cargo run -p ixp-lint -- --format json > target/lint-report.json (cold)"
 # The JSON report is written unconditionally — even when the lint gate
 # below fails, target/lint-report.json holds the findings for triage.
+# The cache is cleared first so this run exercises the full analysis.
 mkdir -p target
+rm -rf target/lint-cache
 lint_started=$(date +%s)
 cargo run -q -p ixp-lint -- --format json > target/lint-report.json || true
 
 echo "==> cargo run -p ixp-lint"
 cargo run -q -p ixp-lint
 lint_elapsed=$(( $(date +%s) - lint_started ))
-# Runtime budget for the two full-workspace lint passes: the parallel
-# per-file front end should keep this far under a minute; a blowout here
-# means the fan-out regressed to sequential or a pass went quadratic.
+# Runtime budget for the two cold full-workspace lint passes: the
+# parallel per-file front end should keep this far under a minute; a
+# blowout here means the fan-out regressed to sequential or a pass went
+# quadratic.
 if [ "$lint_elapsed" -gt 60 ]; then
     echo "ci: lint runtime budget exceeded: ${lint_elapsed}s > 60s" >&2
     exit 1
 fi
-echo "ci: lint passes took ${lint_elapsed}s (budget 60s)"
+echo "ci: cold lint passes took ${lint_elapsed}s (budget 60s)"
+
+echo "==> cargo run -p ixp-lint -- --format json (warm cache)"
+# The warm run must be answered from target/lint-cache: byte-identical
+# to the cold report, and fast — the fixpoint hit skips analysis
+# entirely, so anything near the cold time means the cache is broken.
+warm_started=$(date +%s)
+cargo run -q -p ixp-lint -- --format json > target/lint-report-warm.json || true
+warm_elapsed=$(( $(date +%s) - warm_started ))
+cmp target/lint-report.json target/lint-report-warm.json || {
+    echo "ci: warm-cache lint report differs from the cold run" >&2
+    exit 1
+}
+if [ "$warm_elapsed" -gt 10 ]; then
+    echo "ci: warm lint budget exceeded: ${warm_elapsed}s > 10s" >&2
+    exit 1
+fi
+echo "ci: warm lint pass took ${warm_elapsed}s (budget 10s, byte-identical)"
 
 # Smoke-check the machine-readable report: it must parse against the
-# documented schema (crates/lint/src/json.rs), agree with the gate above
-# that the tree is clean, and advertise the L8 concurrency rules in its
-# registry array.
+# documented schema (crates/lint/src/json.rs, version 3), agree with the
+# gate above that the tree is clean, and advertise the L8 concurrency
+# and L9-L11 invariant rules in its registry array.
+grep -q '"version": 3' target/lint-report.json || {
+    echo "ci: target/lint-report.json does not advertise schema version 3" >&2
+    exit 1
+}
 for rule in lock-order-cycle guard-across-blocking shared-state-escape \
-            atomic-ordering order-dependent-merge; do
+            atomic-ordering order-dependent-merge \
+            unaccounted-drop codec-asymmetry schema-drift error-sink; do
     grep -q "\"id\": \"$rule\"" target/lint-report.json || {
-        echo "ci: L8 rule $rule missing from target/lint-report.json" >&2
+        echo "ci: rule $rule missing from target/lint-report.json" >&2
         exit 1
     }
 done
