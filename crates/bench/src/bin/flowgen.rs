@@ -1,0 +1,161 @@
+//! `flowgen` — the loopback flow-export load generator.
+//!
+//! Replays a seeded NetFlow v5/v9/IPFIX workload (the same
+//! [`ixp_transport::generate`] stream the transport soak uses in memory)
+//! over a real UDP socket, aimed at a `repro --transport udp` receiver:
+//!
+//! ```text
+//! cargo run --release -p ixp-bench --bin flowgen -- --target 127.0.0.1:9995
+//!     [--seed N] [--packets N] [--exporters N] [--records N]
+//!     [--template-every N] [--withhold N:LEN] [--flap N:LEN]
+//!     [--restarts N] [--pace-us N] [--probe]
+//! ```
+//!
+//! Template churn is driven by the same seeded `ixp-faults` chaos
+//! windows the in-memory soak uses: `--withhold 2:60` carves two
+//! 60-packet windows where template announcements are suppressed,
+//! `--flap 1:40` one window where the announced layout changes, and
+//! `--restarts 2` picks two seeded offsets where the exporter reboots.
+//!
+//! After the workload it sends a few out-of-band [`FIN`] sentinels so the
+//! receiver stops pumping promptly. `--probe` only checks whether this
+//! environment allows binding a loopback UDP socket (exit 0 yes, 1 no) —
+//! `scripts/ci.sh` uses it to decide between the UDP smoke and the
+//! deterministic in-memory fallback.
+
+use std::time::Duration;
+
+use ixp_transport::{generate, FlowGenConfig, Link as _, UdpLink, FIN};
+
+struct Args {
+    target: String,
+    seed: u64,
+    packets: u64,
+    exporters: u32,
+    records: u16,
+    template_every: u64,
+    withhold: (usize, u64),
+    flap: (usize, u64),
+    restarts: usize,
+    pace_us: u64,
+    probe: bool,
+}
+
+/// Parse an `N:LEN` window spec ("2:60" → two windows of 60 packets).
+fn parse_windows(spec: &str) -> (usize, u64) {
+    let mut it = spec.splitn(2, ':');
+    let n = it.next().and_then(|s| s.parse().ok());
+    let len = it.next().and_then(|s| s.parse().ok());
+    match (n, len) {
+        (Some(n), Some(len)) => (n, len),
+        _ => panic!("window spec must be N:LEN, got {spec}"),
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        target: "127.0.0.1:9995".to_string(),
+        seed: 2012,
+        packets: 600,
+        exporters: 3,
+        records: 8,
+        template_every: 32,
+        withhold: (0, 0),
+        flap: (0, 0),
+        restarts: 0,
+        pace_us: 200,
+        probe: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut num = |what: &str| -> u64 {
+            it.next()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| panic!("{what} needs a number"))
+        };
+        match arg.as_str() {
+            "--target" => args.target = it.next().expect("--target addr"),
+            "--seed" => args.seed = num("--seed"),
+            "--packets" => args.packets = num("--packets"),
+            "--exporters" => args.exporters = num("--exporters") as u32,
+            "--records" => args.records = num("--records") as u16,
+            "--template-every" => args.template_every = num("--template-every"),
+            "--restarts" => args.restarts = num("--restarts") as usize,
+            "--pace-us" => args.pace_us = num("--pace-us"),
+            "--withhold" => args.withhold = parse_windows(&it.next().expect("--withhold N:LEN")),
+            "--flap" => args.flap = parse_windows(&it.next().expect("--flap N:LEN")),
+            "--probe" => args.probe = true,
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    if args.probe {
+        // Can this environment open a loopback UDP socket at all? ci.sh
+        // keys the flowgen → repro smoke (vs the in-memory fallback) on
+        // the exit code; say why on stderr either way.
+        match UdpLink::bind("127.0.0.1:0") {
+            Ok(_) => {
+                eprintln!("flowgen: UDP loopback binding available");
+                return;
+            }
+            Err(e) => {
+                eprintln!("flowgen: UDP loopback binding denied: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let cfg = FlowGenConfig {
+        seed: args.seed,
+        packets: args.packets,
+        exporters: args.exporters,
+        records_per_packet: args.records,
+        template_every: args.template_every,
+        withhold: ixp_faults::withhold_windows(args.seed, args.packets, args.withhold.0, args.withhold.1),
+        flap: ixp_faults::flap_windows(args.seed, args.packets, args.flap.0, args.flap.1),
+        restarts: ixp_faults::exporter_restart_offsets(args.seed, args.packets, args.restarts),
+    };
+    let workload = generate(&cfg);
+    let mut link = match UdpLink::connect(&args.target) {
+        Ok(link) => link,
+        Err(e) => {
+            eprintln!("flowgen: cannot open a sending socket for {}: {e}", args.target);
+            std::process::exit(1);
+        }
+    };
+    let mut sent = 0u64;
+    let mut bytes = 0u64;
+    for (peer, packet) in &workload {
+        if let Err(e) = link.send(*peer, packet) {
+            eprintln!("flowgen: send failed after {sent} packets: {e}");
+            std::process::exit(1);
+        }
+        sent += 1;
+        bytes += packet.len() as u64;
+        if args.pace_us > 0 {
+            // Loopback has no congestion control; pace so the receiver's
+            // bounded inbox is a policy choice, not an artifact of burst
+            // scheduling.
+            std::thread::sleep(Duration::from_micros(args.pace_us));
+        }
+    }
+    // A few FIN sentinels: UDP may drop one, the receiver stops at the
+    // first it sees and never offers them to the intake.
+    for _ in 0..3 {
+        let _ = link.send(0, FIN);
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    eprintln!(
+        "flowgen: sent {sent} packets ({bytes} bytes) to {} (seed {}, {} exporters, withhold {:?}, flap {:?}, {} restarts)",
+        args.target,
+        args.seed,
+        args.exporters,
+        cfg.withhold,
+        cfg.flap,
+        cfg.restarts.len(),
+    );
+}

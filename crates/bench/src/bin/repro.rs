@@ -8,6 +8,7 @@
 //!     [--seed N] [--markdown <path>] [--exp <id>]
 //!     [--metrics <path>] [--prometheus <path>] [--clock test|real]
 //!     [--checkpoint <path>] [--kill-at <n>] [--resume <path>]
+//!     [--transport none|memory|udp] [--listen <addr>]
 //! ```
 //!
 //! Every run also writes the observability snapshot (`ixp-obs`, JSON
@@ -26,6 +27,17 @@
 //! rest of the regenerated feed, and produces a report and metrics
 //! snapshot byte-identical to an uninterrupted run — `scripts/ci.sh`
 //! checks exactly that, too.
+//!
+//! `--transport memory|udp` puts the `ixp-transport` front-end in front
+//! of the supervised mode: a seeded NetFlow v5/v9/IPFIX workload (replayed
+//! in memory under wire faults, or received over a loopback UDP socket
+//! from the `flowgen` binary) is decoded through the bounded
+//! [`TransportIntake`](ixp_transport::TransportIntake), and the week's
+//! sFlow feed then rides the same intake into the supervisor. The default
+//! `--transport none` leaves the supervised path byte-identical to
+//! earlier releases. A `--kill-at` run in transport mode writes the
+//! intake's own checkpoint next to the supervisor's
+//! (`<checkpoint>.transport`), and `--resume` restores both.
 
 use std::fmt::Write as _;
 
@@ -47,6 +59,8 @@ struct Args {
     checkpoint: Option<String>,
     resume: Option<String>,
     kill_at: Option<u64>,
+    transport: String,
+    listen: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -61,6 +75,8 @@ fn parse_args() -> Args {
     let mut checkpoint = None;
     let mut resume = None;
     let mut kill_at = None;
+    let mut transport = "none".to_string();
+    let mut listen = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -89,6 +105,14 @@ fn parse_args() -> Args {
             "--kill-at" => {
                 kill_at = Some(it.next().and_then(|s| s.parse().ok()).expect("--kill-at N"))
             }
+            "--transport" => {
+                transport = it.next().expect("--transport none|memory|udp");
+                assert!(
+                    matches!(transport.as_str(), "none" | "memory" | "udp"),
+                    "--transport none|memory|udp, got {transport}"
+                );
+            }
+            "--listen" => listen = it.next(),
             "--clock" => {
                 real_clock = match it.next().expect("--clock test|real").as_str() {
                     "real" => true,
@@ -111,6 +135,8 @@ fn parse_args() -> Args {
         checkpoint,
         resume,
         kill_at,
+        transport,
+        listen,
     }
 }
 
@@ -139,7 +165,7 @@ fn main() {
     // The only time source of the whole run: the obs clock. `--clock test`
     // (default) freezes it so the snapshot is byte-reproducible.
     let obs = if args.real_clock { Obs::real() } else { Obs::deterministic() };
-    if args.checkpoint.is_some() || args.resume.is_some() {
+    if args.checkpoint.is_some() || args.resume.is_some() || args.transport != "none" {
         supervised_mode(&args, &obs);
         return;
     }
@@ -266,15 +292,46 @@ fn supervised_mode(args: &Args, obs: &Obs) {
         }
     };
 
-    let done = obs.time(&stage_metric("scan"), || {
-        sup.run_feed(analyzer.feed(week), args.kill_at)
-    });
+    let mut transport = if args.transport == "none" {
+        None
+    } else {
+        Some(transport_front_end(args, obs))
+    };
+    let done = match &mut transport {
+        None => obs.time(&stage_metric("scan"), || {
+            sup.run_feed(analyzer.feed(week), args.kill_at)
+        }),
+        Some(intake) => obs.time(&stage_metric("scan"), || {
+            // The week's sFlow feed rides the transport intake into the
+            // supervisor: offer → drain → forward the passthrough
+            // datagrams. A resumed run skips what it already offered.
+            let skip = usize::try_from(sup.offered()).unwrap_or(usize::MAX);
+            for dg in analyzer.feed(week).skip(skip) {
+                if args.kill_at.is_some_and(|k| sup.offered() >= k) {
+                    return false;
+                }
+                intake.offer(SFLOW_PEER, &dg);
+                for unit in intake.drain(usize::MAX) {
+                    if let ixp_transport::Drained::Sflow { datagram, .. } = unit {
+                        sup.offer(datagram);
+                    }
+                }
+            }
+            sup.finish();
+            true
+        }),
+    };
     if !done {
         let path = args
             .checkpoint
             .as_deref()
             .expect("--kill-at needs --checkpoint <path> to write to");
         std::fs::write(path, sup.checkpoint()).expect("write checkpoint file");
+        if let Some(intake) = &transport {
+            let side = format!("{path}.transport");
+            std::fs::write(&side, intake.save_state()).expect("write transport state file");
+            eprintln!("  transport state written to {side}");
+        }
         eprintln!(
             "  killed at offered datagram {} ({:.1}s) — checkpoint written to {path}",
             sup.offered(),
@@ -308,7 +365,155 @@ fn supervised_mode(args: &Args, obs: &Obs) {
         "  accounting invariant (ingested = accepted + duplicates + errors + shed): {}",
         if health.fully_accounted() { "holds" } else { "VIOLATED" }
     );
+    if let Some(intake) = &mut transport {
+        let ts = intake.finish();
+        let (installed, refreshed, evicted) = intake.template_counts();
+        println!(
+            "  transport ({} mode): {} offered, {} received, {} accepted ({} sflow / {} v5 / {} v9 / {} ipfix), {} flow records",
+            args.transport,
+            ts.offered,
+            ts.received,
+            ts.accepted,
+            ts.sflow_datagrams,
+            ts.v5_packets,
+            ts.v9_packets,
+            ts.ipfix_packets,
+            ts.flows,
+        );
+        println!(
+            "  transport faults: {} shed, {} duplicates, {} decode errors ({} truncated / {} bad version / {} inconsistent), {} template-missing dropped",
+            ts.shed,
+            ts.duplicates,
+            ts.decode_errors,
+            ts.truncated,
+            ts.bad_version,
+            ts.inconsistent,
+            ts.template_missing_dropped,
+        );
+        println!(
+            "  transport templates: {installed} installed, {refreshed} refreshed, {evicted} evicted"
+        );
+        println!(
+            "  transport accounting invariant (offered = received + shed; received = accepted + duplicates + errors + template-missing + pending): {}",
+            if intake.fully_accounted() { "holds" } else { "VIOLATED" }
+        );
+    }
     write_snapshots(args, obs);
+}
+
+/// Stable peer identity the supervised mode uses when it offers the
+/// week's sFlow datagrams to the transport intake.
+const SFLOW_PEER: u64 = 0x5F10;
+
+/// Build the transport intake for `--transport memory|udp` and run the
+/// flow-export phase: a seeded NetFlow v5/v9/IPFIX workload with template
+/// churn, replayed either deterministically in memory under wire faults
+/// or received over a loopback UDP socket from `flowgen`. A resumed run
+/// restores the intake (flow phase included) from the side file the
+/// killed run wrote and skips the phase.
+fn transport_front_end(args: &Args, obs: &Obs) -> ixp_transport::TransportIntake {
+    use ixp_faults::{WireFaultConfig, WirePlan};
+    use ixp_transport::{
+        FlowGenConfig, Link as _, MemLink, TransportConfig, TransportIntake, TransportMetrics,
+        UdpLink, FIN,
+    };
+
+    let restored = args.resume.as_deref().and_then(|path| {
+        let side = format!("{path}.transport");
+        let bytes = std::fs::read(&side).ok()?;
+        let intake = TransportIntake::restore_from(&bytes)
+            .unwrap_or_else(|e| panic!("refusing to resume transport state from {side}: {e}"));
+        eprintln!("  transport state resumed from {side}");
+        Some(intake)
+    });
+    let resumed = restored.is_some();
+    let mut intake = restored.unwrap_or_else(|| TransportIntake::new(TransportConfig::default()));
+    intake.bind_metrics(TransportMetrics::register(&obs.registry));
+    if resumed {
+        return intake;
+    }
+
+    match args.transport.as_str() {
+        "memory" => {
+            // Deterministic in-memory replay: seeded workload with
+            // template withhold/flap windows and exporter restarts,
+            // perturbed at the wire level. Same seed, same bytes — two
+            // same-seed runs produce byte-identical metrics snapshots.
+            let packets = 600u64;
+            let cfg = FlowGenConfig {
+                seed: args.seed,
+                packets,
+                withhold: ixp_faults::withhold_windows(args.seed, packets, 2, 60),
+                flap: ixp_faults::flap_windows(args.seed, packets, 1, 40),
+                restarts: ixp_faults::exporter_restart_offsets(args.seed, packets, 2),
+                ..FlowGenConfig::default()
+            };
+            let wire = WireFaultConfig {
+                seed: args.seed,
+                drop: 0.02,
+                duplicate: 0.005,
+                reorder: 0.005,
+                truncate: 0.001,
+            };
+            let mut link = MemLink::new();
+            for (peer, packet) in WirePlan::new(ixp_transport::generate(&cfg).into_iter(), wire) {
+                link.send(peer, &packet).expect("memlink send");
+            }
+            eprintln!("  transport: replaying {} flow packets in memory", link.pending());
+            loop {
+                let n = intake.pump(&mut link, 64).expect("memlink recv");
+                intake.drain(usize::MAX);
+                if n == 0 {
+                    break;
+                }
+            }
+        }
+        "udp" => {
+            let addr = args.listen.as_deref().unwrap_or("127.0.0.1:0");
+            let mut link = match UdpLink::bind(addr) {
+                Ok(link) => link,
+                Err(e) => {
+                    eprintln!("transport: binding UDP {addr} denied: {e}");
+                    std::process::exit(42);
+                }
+            };
+            match link.local_addr() {
+                // To stderr (unbuffered): ci.sh polls the log for this
+                // line to learn the ephemeral port before starting flowgen.
+                Ok(local) => eprintln!("transport: listening on {local}"),
+                Err(e) => eprintln!("transport: listening (local addr unavailable: {e})"),
+            }
+            let mut idle = 0u32;
+            loop {
+                match link.recv() {
+                    Ok(Some((peer, packet))) => {
+                        idle = 0;
+                        if packet == FIN {
+                            break;
+                        }
+                        intake.offer(peer, &packet);
+                        intake.drain(64);
+                    }
+                    Ok(None) => {
+                        // The socket polls at 50 ms; give a slow sender
+                        // ~15 s of silence before giving up.
+                        idle += 1;
+                        if idle >= 300 {
+                            eprintln!("transport: idle timeout waiting for flowgen; proceeding");
+                            break;
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("transport: receive error: {e}; proceeding");
+                        break;
+                    }
+                }
+            }
+        }
+        other => panic!("--transport none|memory|udp, got {other}"),
+    }
+    intake.drain(usize::MAX);
+    intake
 }
 
 fn e1_fig1(out: &mut Out, reference: &ixp_core::WeeklyReport) {
@@ -946,6 +1151,59 @@ fn faults_sweep(
             "    accounting invariant (ingested = accepted + duplicates + errors + shed): {}",
             if h.fully_accounted() { "holds" } else { "VIOLATED" }
         );
+    }
+    // Wire-level grid: the flow-export front-end (NetFlow v5/v9/IPFIX
+    // through the transport intake) under UDP loss × template churn.
+    {
+        use ixp_faults::{WireFaultConfig, WirePlan};
+        use ixp_transport::{FlowGenConfig, TransportConfig, TransportIntake};
+        let packets = 600u64;
+        let _ = writeln!(
+            body,
+            "  — transport wire grid ({packets} v5/v9/IPFIX packets, loss × template churn)"
+        );
+        for (label, loss, churn) in [
+            ("clean", 0.0, false),
+            ("loss 5 %", 0.05, false),
+            ("template churn", 0.0, true),
+            ("loss 5 % + template churn", 0.05, true),
+        ] {
+            let (withhold, flap, restarts) = if churn {
+                (
+                    ixp_faults::withhold_windows(seed, packets, 2, 60),
+                    ixp_faults::flap_windows(seed, packets, 1, 40),
+                    ixp_faults::exporter_restart_offsets(seed, packets, 2),
+                )
+            } else {
+                (Vec::new(), Vec::new(), Vec::new())
+            };
+            let cfg = FlowGenConfig { seed, packets, withhold, flap, restarts, ..FlowGenConfig::default() };
+            let mut plan = WirePlan::new(
+                ixp_transport::generate(&cfg).into_iter(),
+                WireFaultConfig::loss(seed, loss),
+            );
+            let mut t = TransportIntake::new(TransportConfig::default());
+            for (peer, packet) in plan.by_ref() {
+                t.offer(peer, &packet);
+                t.drain(8);
+            }
+            t.drain(usize::MAX);
+            let s = t.finish();
+            let wire = plan.stats();
+            let (installed, refreshed, _evicted) = t.template_counts();
+            let _ = writeln!(
+                body,
+                "    {label}: {} offered ({} lost on the wire), {} accepted, {} dup, {} errors, {} template-missing dropped, {} flows, {installed} templates installed ({refreshed} refreshed) — accounting {}",
+                s.offered,
+                wire.dropped,
+                s.accepted,
+                s.duplicates,
+                s.decode_errors,
+                s.template_missing_dropped,
+                s.flows,
+                if t.fully_accounted() { "holds" } else { "VIOLATED" }
+            );
+        }
     }
     let _ = writeln!(
         body,

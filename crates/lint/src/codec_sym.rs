@@ -115,6 +115,15 @@ pub const REGISTRY: &[CodecPair] = &[
         frame: true,
         digest: 0x926d_aadf_f3ad_6242,
     },
+    CodecPair {
+        file: "crates/transport/src/intake.rs",
+        writer: ("TransportIntake", "save_state"),
+        reader: ("TransportIntake", "restore_from"),
+        version_ident: Some("TRANSPORT_STATE_VERSION"),
+        sealed: false,
+        frame: false,
+        digest: 0x2168_a917_8cd6_2f8a,
+    },
     // Lint fixture: deliberately asymmetric pair under tests/fixtures.
     CodecPair {
         file: "crates/supervisor/src/codec_pair.rs",
@@ -166,6 +175,7 @@ fn in_scope(path: &str) -> bool {
     path.starts_with("crates/sflow/src/")
         || path.starts_with("crates/supervisor/src/")
         || path.starts_with("crates/core/src/")
+        || path.starts_with("crates/transport/src/")
 }
 
 /// One abstract step of a codec body.

@@ -48,6 +48,7 @@ const COUNTER_FIELDS: &[&str] = &[
     "latency_samples",
     "lost",
     "offered",
+    "pending",
     "quarantined",
     "received",
     "restarts",
@@ -55,6 +56,7 @@ const COUNTER_FIELDS: &[&str] = &[
     "seq_opened",
     "seq_recovered",
     "shed",
+    "template_missing_dropped",
     "ticks",
     "unattributed_errors",
     "undissectable",
@@ -75,6 +77,7 @@ fn in_scope(path: &str) -> bool {
     path.starts_with("crates/sflow/src/")
         || path.starts_with("crates/supervisor/src/")
         || path.starts_with("crates/core/src/")
+        || path.starts_with("crates/transport/src/")
 }
 
 /// True when `fi.name` marks a datagram-consuming entry point.

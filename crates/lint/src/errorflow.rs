@@ -35,7 +35,7 @@ use crate::Finding;
 
 /// Crates whose `src/` trees are stream-facing.
 fn in_scope(path: &str) -> bool {
-    for crate_dir in ["wire", "sflow", "supervisor", "core", "faults"] {
+    for crate_dir in ["wire", "sflow", "supervisor", "core", "faults", "transport"] {
         if path.starts_with(&format!("crates/{crate_dir}/src/")) {
             return true;
         }

@@ -444,13 +444,16 @@ pub fn resolve_rule(name: &str) -> Option<Vec<&'static str>> {
 /// L1 scope: source trees of the crates that face the raw datagram stream —
 /// the two packet parsers, the fault injector (which rewrites encoded
 /// datagrams and must survive anything it is fed, including its own output),
-/// and the supervisor (which decodes checkpoint images that may be
-/// truncated or corrupted by the very crash they are recovering from).
+/// the supervisor (which decodes checkpoint images that may be
+/// truncated or corrupted by the very crash they are recovering from),
+/// and the wire transport (UDP front door plus the NetFlow v5/v9/IPFIX
+/// decoders, which parse attacker-grade bytes straight off the socket).
 pub(crate) fn l1_applies(path: &str) -> bool {
     path.starts_with("crates/wire/src/")
         || path.starts_with("crates/sflow/src/")
         || path.starts_with("crates/faults/src/")
         || path.starts_with("crates/supervisor/src/")
+        || path.starts_with("crates/transport/src/")
 }
 
 /// L2 scope: modules that aggregate counters and must not silently truncate.

@@ -48,7 +48,13 @@ fn violations_tree_exits_one_with_findings_on_stdout() {
     assert!(stdout.contains("crates/supervisor/src/codec_pair.rs:16: codec-asymmetry: "));
     assert!(stdout.contains("crates/core/src/codec_noreg.rs:5: schema-drift: "));
     assert!(stdout.contains("crates/sflow/src/sink.rs:13: error-sink: "));
-    assert!(stderr.contains("32 violation(s)"), "stderr was: {stderr}");
+    // The transport crate carries the same invariant families.
+    assert!(stdout.contains("crates/transport/src/bad.rs:4: no-index: "));
+    assert!(stdout.contains("crates/transport/src/l5.rs:6: panic-path: "));
+    assert!(stdout.contains("crates/transport/src/shed.rs:14: unaccounted-drop: "));
+    assert!(stdout.contains("crates/transport/src/sink.rs:13: error-sink: "));
+    assert!(stdout.contains("crates/transport/src/taint.rs:5: tainted-capacity: "));
+    assert!(stderr.contains("37 violation(s)"), "stderr was: {stderr}");
 }
 
 #[test]
@@ -72,7 +78,7 @@ fn json_format_emits_the_documented_schema() {
         );
     }
     let findings = v.get("findings").and_then(|f| f.as_arr()).expect("findings array");
-    assert_eq!(v.get("summary").and_then(|s| s.get("total")).and_then(|t| t.as_u64()), Some(32));
+    assert_eq!(v.get("summary").and_then(|s| s.get("total")).and_then(|t| t.as_u64()), Some(37));
     let cycle = findings
         .iter()
         .find(|f| f.get("rule").and_then(|r| r.as_str()) == Some("lock-order-cycle"))

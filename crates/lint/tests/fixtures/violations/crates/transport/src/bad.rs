@@ -1,0 +1,5 @@
+//! L1 fixture: a transport decoder must not index into wire bytes.
+
+pub fn first_flow(packet: &[u8]) -> u8 {
+    packet[0]
+}

@@ -1,0 +1,8 @@
+//! L5 fixture: a transport entry point that reaches a panic only through
+//! a cross-crate call, invisible to the token-level L1 rules.
+
+use ixp_core::util::pick;
+
+pub fn first_byte(packet: &[u8]) -> u8 {
+    pick(packet)
+}

@@ -1,0 +1,15 @@
+//! L11 fixture: a transport decode error silently discarded.
+
+pub struct Malformed;
+
+fn decode(packet: &[u8]) -> Result<u64, Malformed> {
+    if packet.is_empty() {
+        return Err(Malformed);
+    }
+    Ok(1)
+}
+
+pub fn pump(packet: &[u8]) -> u64 {
+    let _ = decode(packet);
+    0
+}

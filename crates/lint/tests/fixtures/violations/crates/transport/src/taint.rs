@@ -1,0 +1,8 @@
+//! L6 fixture: a wire-tainted record count sizing an allocation.
+
+pub fn decode(r: &mut Reader, buf: &[u8]) -> Result<(), DecodeError> {
+    let count = r.u16()? as usize;
+    let records = Vec::with_capacity(count);
+    let _ = (records, buf);
+    Ok(())
+}

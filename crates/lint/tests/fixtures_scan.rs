@@ -39,6 +39,11 @@ fn violations_tree_reports_every_rule_exactly() {
         ("crates/sflow/src/taint.rs", 8, "tainted-slice-len"),
         ("crates/supervisor/src/codec_pair.rs", 16, "codec-asymmetry"),
         ("crates/supervisor/src/intake.rs", 14, "unaccounted-drop"),
+        ("crates/transport/src/bad.rs", 4, "no-index"),
+        ("crates/transport/src/l5.rs", 6, "panic-path"),
+        ("crates/transport/src/shed.rs", 14, "unaccounted-drop"),
+        ("crates/transport/src/sink.rs", 13, "error-sink"),
+        ("crates/transport/src/taint.rs", 5, "tainted-capacity"),
         ("crates/wire/src/bad.rs", 2, "no-unwrap"),
         ("crates/wire/src/bad.rs", 3, "no-expect"),
         ("crates/wire/src/bad.rs", 5, "no-panic"),

@@ -1,0 +1,56 @@
+//! Typed errors for the transport layer.
+//!
+//! Every failure a hostile wire can provoke maps onto a variant here —
+//! never a panic — so the intake can count it into the right
+//! conservation bucket and keep going.
+
+use std::fmt;
+
+/// Why a packet failed to decode. Fail-closed: a decoder returns the
+/// first inconsistency it proves and never emits partial records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeFault {
+    /// The packet ended before a length implied by its own fields.
+    Truncated,
+    /// The leading version field named no protocol this layer speaks.
+    BadVersion(u16),
+    /// Two fields of the packet contradict each other (a set length
+    /// pointing past the packet end, a record count that cannot fit,
+    /// a template with zero or absurd fields, ...).
+    Inconsistent,
+}
+
+impl fmt::Display for DecodeFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeFault::Truncated => write!(f, "packet truncated mid-field"),
+            DecodeFault::BadVersion(v) => write!(f, "unsupported flow-export version {v}"),
+            DecodeFault::Inconsistent => write!(f, "packet fields are self-contradictory"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeFault {}
+
+/// A socket-level failure of a [`Link`](crate::link::Link).
+#[derive(Debug)]
+pub enum LinkError {
+    /// Binding the local address was denied or failed.
+    Bind(std::io::Error),
+    /// A send failed at the OS level.
+    Send(std::io::Error),
+    /// A receive failed at the OS level (timeouts are not errors).
+    Recv(std::io::Error),
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::Bind(e) => write!(f, "udp bind denied: {e}"),
+            LinkError::Send(e) => write!(f, "udp send failed: {e}"),
+            LinkError::Recv(e) => write!(f, "udp recv failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}

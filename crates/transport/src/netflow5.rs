@@ -1,0 +1,189 @@
+//! NetFlow v5: the fixed-layout legacy export format.
+//!
+//! A v5 packet is a 24-byte header followed by `count` 48-byte records —
+//! no templates, so the whole packet decodes or none of it does. The
+//! decoder is fail-closed in the sFlow-codec style: every length the
+//! packet claims is proven against the bytes actually present, the spec's
+//! 30-record ceiling is enforced, and trailing garbage is an
+//! inconsistency, not an accepted packet.
+
+use std::net::Ipv4Addr;
+
+use crate::error::DecodeFault;
+use crate::flow::FlowRecord;
+use crate::rd::Rd;
+
+/// The version field a v5 packet leads with.
+pub const VERSION: u16 = 5;
+
+/// Header + per-record sizes fixed by the v5 spec.
+const HEADER_LEN: usize = 24;
+const RECORD_LEN: usize = 48;
+
+/// The spec's maximum records per packet (24 + 30·48 < 1464 bytes).
+const MAX_RECORDS: usize = 30;
+
+/// One decoded NetFlow v5 packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct V5Packet {
+    /// Cumulative flow-sequence counter (first flow of this packet).
+    pub sequence: u32,
+    /// Exporter engine type / engine id.
+    pub engine: (u8, u8),
+    /// Sampling interval field (mode bits masked off).
+    pub sampling_interval: u16,
+    /// The records, all-or-nothing.
+    pub records: Vec<FlowRecord>,
+}
+
+/// Decode one v5 packet.
+// ixp-lint: allow(schema-drift) NetFlow v5 wire codec; the layout is fixed by the protocol spec, not the checkpoint ratchet
+pub fn decode(data: &[u8]) -> Result<V5Packet, DecodeFault> {
+    let mut r = Rd::new(data);
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(DecodeFault::BadVersion(version));
+    }
+    let count = r.u16()? as usize;
+    if count == 0 || count > MAX_RECORDS {
+        return Err(DecodeFault::Inconsistent);
+    }
+    // The packet length must be exactly header + count records: a v5
+    // exporter never pads, so any surplus is damage.
+    let expect = HEADER_LEN
+        .checked_add(count.checked_mul(RECORD_LEN).ok_or(DecodeFault::Inconsistent)?)
+        .ok_or(DecodeFault::Inconsistent)?;
+    if data.len() < expect {
+        return Err(DecodeFault::Truncated);
+    }
+    if data.len() > expect {
+        return Err(DecodeFault::Inconsistent);
+    }
+    r.skip(4)?; // sys_uptime
+    r.skip(8)?; // unix_secs + unix_nsecs
+    let sequence = r.u32()?;
+    let engine_type = r.u8()?;
+    let engine_id = r.u8()?;
+    let sampling_interval = r.u16()? & 0x3FFF;
+
+    let mut records = Vec::with_capacity(count.min(MAX_RECORDS));
+    for _ in 0..count {
+        records.push(decode_record(&mut r)?);
+    }
+    if r.remaining() != 0 {
+        return Err(DecodeFault::Inconsistent);
+    }
+    Ok(V5Packet { sequence, engine: (engine_type, engine_id), sampling_interval, records })
+}
+
+/// Decode one fixed 48-byte record.
+// ixp-lint: allow(schema-drift) NetFlow v5 wire codec; the layout is fixed by the protocol spec, not the checkpoint ratchet
+fn decode_record(r: &mut Rd<'_>) -> Result<FlowRecord, DecodeFault> {
+    let src = Ipv4Addr::from(r.u32()?);
+    let dst = Ipv4Addr::from(r.u32()?);
+    r.skip(4)?; // nexthop
+    r.skip(4)?; // input + output ifIndex
+    let packets = u64::from(r.u32()?);
+    let bytes = u64::from(r.u32()?);
+    r.skip(8)?; // first + last uptime stamps
+    let src_port = r.u16()?;
+    let dst_port = r.u16()?;
+    r.skip(2)?; // pad1 + tcp_flags
+    let proto = r.u8()?;
+    r.skip(1)?; // tos
+    r.skip(4)?; // src_as + dst_as
+    r.skip(2)?; // src_mask + dst_mask
+    r.skip(2)?; // pad2
+    Ok(FlowRecord { src, dst, src_port, dst_port, proto, packets, bytes })
+}
+
+/// Encode a v5 packet — the generator/test side of the codec.
+pub fn encode(p: &V5Packet) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + p.records.len() * RECORD_LEN);
+    out.extend_from_slice(&VERSION.to_be_bytes());
+    out.extend_from_slice(&(p.records.len() as u16).to_be_bytes());
+    out.extend_from_slice(&0u32.to_be_bytes()); // sys_uptime
+    out.extend_from_slice(&0u32.to_be_bytes()); // unix_secs
+    out.extend_from_slice(&0u32.to_be_bytes()); // unix_nsecs
+    out.extend_from_slice(&p.sequence.to_be_bytes());
+    out.push(p.engine.0);
+    out.push(p.engine.1);
+    out.extend_from_slice(&p.sampling_interval.to_be_bytes());
+    for rec in &p.records {
+        out.extend_from_slice(&rec.src.octets());
+        out.extend_from_slice(&rec.dst.octets());
+        out.extend_from_slice(&0u32.to_be_bytes()); // nexthop
+        out.extend_from_slice(&0u32.to_be_bytes()); // ifIndexes
+        out.extend_from_slice(&(rec.packets as u32).to_be_bytes());
+        out.extend_from_slice(&(rec.bytes as u32).to_be_bytes());
+        out.extend_from_slice(&0u64.to_be_bytes()); // first + last
+        out.extend_from_slice(&rec.src_port.to_be_bytes());
+        out.extend_from_slice(&rec.dst_port.to_be_bytes());
+        out.push(0); // pad1
+        out.push(0); // tcp_flags
+        out.push(rec.proto);
+        out.push(0); // tos
+        out.extend_from_slice(&0u32.to_be_bytes()); // ASes
+        out.extend_from_slice(&[0, 0]); // masks
+        out.extend_from_slice(&[0, 0]); // pad2
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> V5Packet {
+        V5Packet {
+            sequence: 42,
+            engine: (1, 7),
+            sampling_interval: 100,
+            records: vec![
+                FlowRecord {
+                    src: Ipv4Addr::new(10, 0, 0, 1),
+                    dst: Ipv4Addr::new(10, 0, 0, 2),
+                    src_port: 5000,
+                    dst_port: 80,
+                    proto: 6,
+                    packets: 12,
+                    bytes: 9000,
+                },
+                FlowRecord::default(),
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrips() {
+        let p = sample();
+        assert_eq!(decode(&encode(&p)).unwrap(), p);
+    }
+
+    #[test]
+    fn rejects_length_lies() {
+        let bytes = encode(&sample());
+        // Truncated anywhere: Truncated (or BadVersion at the very head).
+        for cut in 0..bytes.len() {
+            assert!(decode(&bytes[..cut]).is_err(), "cut {cut} accepted");
+        }
+        // Surplus bytes: inconsistent.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert_eq!(decode(&padded), Err(DecodeFault::Inconsistent));
+        // Record-count lie.
+        let mut lied = bytes;
+        lied[2] = 0;
+        lied[3] = 9;
+        assert!(decode(&lied).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_version_and_zero_count() {
+        let mut bytes = encode(&sample());
+        bytes[1] = 9;
+        assert!(matches!(decode(&bytes), Err(DecodeFault::BadVersion(_))));
+        let empty = V5Packet { records: vec![], ..sample() };
+        assert_eq!(decode(&encode(&empty)), Err(DecodeFault::Inconsistent));
+    }
+}

@@ -8,4 +8,5 @@ pub use ixp_obs as obs;
 pub use ixp_sflow as sflow;
 pub use ixp_supervisor as supervisor;
 pub use ixp_traffic as traffic;
+pub use ixp_transport as transport;
 pub use ixp_wire as wire;
