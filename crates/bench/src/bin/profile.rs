@@ -7,7 +7,7 @@
 //!     [--seed N] [--out BENCH_5.json] [--reps N]
 //! ```
 //!
-//! Two measurements:
+//! Three measurements:
 //!
 //! * **ingest overhead** — the reference week's feed is materialized once
 //!   and pushed through a detached [`WeekScan`] (metrics sinks discarded)
@@ -18,6 +18,10 @@
 //!   detached-then-instrumented order lets whichever runs later ride a
 //!   warmer machine and can even report negative overhead. Median-of-`reps`
 //!   wall times give the relative overhead; the acceptance bar is < 5 %.
+//! * **journal overhead** — the same feed through the supervised intake
+//!   ring, once with the event journal disabled and once with a live
+//!   bounded journal recording tick spans and transitions. Interleaved
+//!   and median'd the same way; same < 5 % bar (DESIGN.md §13).
 //! * **per-stage throughput** — a full instrumented 17-week study plus the
 //!   clustering / visibility / longitudinal analyses, with every stage's
 //!   duration read back from the `core_stage_duration_ns{stage="..."}`
@@ -156,6 +160,53 @@ fn main() {
         overhead_pct
     );
 
+    // ---- journal overhead: supervised ingest, journal off vs on ---------
+    use ixp_supervisor::{Supervisor, SupervisorConfig};
+    eprintln!(
+        "timing supervised ingest with the event journal off vs on (median of {} reps) ...",
+        args.reps
+    );
+    let sup_config = SupervisorConfig::default();
+    let journal = ixp_obs::Journal::with_capacity(ixp_obs::journal::DEFAULT_CAPACITY, clock.clone());
+    let mut run_journal_off = || {
+        let mut sup = Supervisor::new(WeekScan::new(week, members), sup_config);
+        for dg in &feed {
+            sup.offer(dg.clone());
+        }
+        sup.finish();
+    };
+    let mut run_journal_on = || {
+        let mut sup = Supervisor::new(WeekScan::new(week, members), sup_config);
+        sup.bind_journal(journal.clone());
+        for dg in &feed {
+            sup.offer(dg.clone());
+        }
+        sup.finish();
+    };
+    run_journal_off();
+    run_journal_on();
+    let mut journal_off = Vec::new();
+    let mut journal_on = Vec::new();
+    for _ in 0..args.reps.max(1) {
+        journal_off.push(timed(clock.as_ref(), &mut run_journal_off));
+        journal_on.push(timed(clock.as_ref(), &mut run_journal_on));
+    }
+    let journal_off_ns = median(journal_off);
+    let journal_on_ns = median(journal_on);
+    let journal_events = journal.len() as u64 + journal.dropped();
+    let journal_overhead_pct = if journal_off_ns == 0 {
+        0.0
+    } else {
+        100.0 * (journal_on_ns as f64 - journal_off_ns as f64) / journal_off_ns as f64
+    };
+    eprintln!(
+        "  journal off {:.1} ms, on {:.1} ms ({} events recorded), overhead {:+.2} % (bar: < 5 %)",
+        journal_off_ns as f64 / 1e6,
+        journal_on_ns as f64 / 1e6,
+        journal_events,
+        journal_overhead_pct
+    );
+
     // ---- per-stage throughput: full instrumented study ------------------
     eprintln!("running instrumented 17-week study ...");
     let obs = Obs::real();
@@ -211,7 +262,7 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"schema\": \"ixp-bench/profile/2\",\n  \"scale\": \"{}\",\n  \"seed\": {},\n  \"weeks\": {},\n  \"ingest\": {{\n    \"datagrams\": {datagrams},\n    \"bytes\": {feed_bytes},\n    \"detached_ns\": {detached_ns},\n    \"instrumented_ns\": {instrumented_ns},\n    \"overhead_pct\": {overhead_pct:.2},\n    \"detached_datagrams_per_sec\": {:.2},\n    \"instrumented_datagrams_per_sec\": {:.2},\n    \"detached_mbytes_per_sec\": {:.2}\n  }},\n  \"stages\": [\n{stages}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"ixp-bench/profile/3\",\n  \"scale\": \"{}\",\n  \"seed\": {},\n  \"weeks\": {},\n  \"ingest\": {{\n    \"datagrams\": {datagrams},\n    \"bytes\": {feed_bytes},\n    \"detached_ns\": {detached_ns},\n    \"instrumented_ns\": {instrumented_ns},\n    \"overhead_pct\": {overhead_pct:.2},\n    \"detached_datagrams_per_sec\": {:.2},\n    \"instrumented_datagrams_per_sec\": {:.2},\n    \"detached_mbytes_per_sec\": {:.2}\n  }},\n  \"journal\": {{\n    \"off_ns\": {journal_off_ns},\n    \"on_ns\": {journal_on_ns},\n    \"events\": {journal_events},\n    \"overhead_pct\": {journal_overhead_pct:.2}\n  }},\n  \"stages\": [\n{stages}\n  ]\n}}\n",
         args.scale_name,
         args.seed,
         Week::COUNT,
@@ -221,8 +272,16 @@ fn main() {
     );
     std::fs::write(&args.out, json).expect("write profile json");
     eprintln!("wrote {}", args.out);
+    let mut bad = false;
     if overhead_pct >= 5.0 {
         eprintln!("WARNING: instrumentation overhead {overhead_pct:.2} % exceeds the 5 % bar");
+        bad = true;
+    }
+    if journal_overhead_pct >= 5.0 {
+        eprintln!("WARNING: journal overhead {journal_overhead_pct:.2} % exceeds the 5 % bar");
+        bad = true;
+    }
+    if bad {
         std::process::exit(1);
     }
 }

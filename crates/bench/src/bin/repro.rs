@@ -9,7 +9,21 @@
 //!     [--metrics <path>] [--prometheus <path>] [--clock test|real]
 //!     [--checkpoint <path>] [--kill-at <n>] [--resume <path>]
 //!     [--transport none|memory|udp] [--listen <addr>]
+//!     [--serve <addr>] [--trace <path>]
 //! ```
+//!
+//! The observability plane (DESIGN.md §13) rides every run: a bounded
+//! deterministic event journal records spans and transitions (stamped by
+//! the obs clock, so same-seed `--trace` dumps are byte-identical), a
+//! conservation auditor re-checks the ledger invariants against the live
+//! metric families (a breach dumps the journal tail to a `.flight` side
+//! file and exits nonzero), and `--serve <addr>` exposes `/metrics`,
+//! `/metrics.json`, `/healthz`, and `/trace` over HTTP until `GET /quit`
+//! (bind failure is logged and the run continues — probe-gated like the
+//! UDP transport). A `--kill-at` run seals the journal tail to
+//! `<checkpoint>.flight` so the crash site is named next to the
+//! checkpoint; a rejected `--resume` does the same next to the rejected
+//! file.
 //!
 //! Every run also writes the observability snapshot (`ixp-obs`, JSON
 //! schema `ixp-obs/1`) to `--metrics` (default
@@ -61,6 +75,8 @@ struct Args {
     kill_at: Option<u64>,
     transport: String,
     listen: Option<String>,
+    serve: Option<String>,
+    trace: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -77,6 +93,8 @@ fn parse_args() -> Args {
     let mut kill_at = None;
     let mut transport = "none".to_string();
     let mut listen = None;
+    let mut serve = None;
+    let mut trace = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -113,6 +131,8 @@ fn parse_args() -> Args {
                 );
             }
             "--listen" => listen = it.next(),
+            "--serve" => serve = it.next(),
+            "--trace" => trace = it.next(),
             "--clock" => {
                 real_clock = match it.next().expect("--clock test|real").as_str() {
                     "real" => true,
@@ -137,6 +157,8 @@ fn parse_args() -> Args {
         kill_at,
         transport,
         listen,
+        serve,
+        trace,
     }
 }
 
@@ -160,15 +182,120 @@ impl Out {
     }
 }
 
+/// How many journal events a flight dump seals (the tail that must
+/// explain the failure).
+const FLIGHT_TAIL: usize = 64;
+
+/// Steady-state conservation audits run every this many offered
+/// datagrams in the supervised mode (plus one final audit at the end).
+const AUDIT_EVERY: u64 = 4096;
+
 fn main() {
     let args = parse_args();
     // The only time source of the whole run: the obs clock. `--clock test`
     // (default) freezes it so the snapshot is byte-reproducible.
     let obs = if args.real_clock { Obs::real() } else { Obs::deterministic() };
-    if args.checkpoint.is_some() || args.resume.is_some() || args.transport != "none" {
-        supervised_mode(&args, &obs);
-        return;
+    // The observability plane: journal (spans/transitions, clock-stamped),
+    // auditor (live ledger re-checks), board + server (HTTP exposition).
+    let journal =
+        ixp_obs::Journal::with_capacity(ixp_obs::journal::DEFAULT_CAPACITY, obs.clock.clone());
+    let board = ixp_obsd::Board::new();
+    let auditor = ixp_obs::Auditor::new(obs.registry.clone(), journal.clone());
+    let server = args.serve.as_deref().and_then(|addr| serve_exposition(addr, &obs, &journal, &board));
+    let completed = if args.checkpoint.is_some() || args.resume.is_some() || args.transport != "none"
+    {
+        supervised_mode(&args, &obs, &journal, &board, &auditor)
+    } else {
+        full_study(&args, &obs);
+        final_audit(&args, &journal, &board, &auditor);
+        write_snapshots(&args, &obs);
+        true
+    };
+    if completed {
+        if let Some(path) = &args.trace {
+            std::fs::write(path, journal.render()).expect("write event trace");
+            eprintln!(
+                "wrote event trace to {path} ({} events, {} dropped)",
+                journal.len(),
+                journal.dropped()
+            );
+        }
+        if let Some(handle) = server {
+            eprintln!("obsd: run complete; serving until GET /quit");
+            let _ = handle.join();
+        }
     }
+}
+
+/// Bind the exposition server and serve on a background thread. A denied
+/// bind is logged, not fatal — sandboxes without loopback still run.
+fn serve_exposition(
+    addr: &str,
+    obs: &Obs,
+    journal: &ixp_obs::Journal,
+    board: &ixp_obsd::Board,
+) -> Option<std::thread::JoinHandle<()>> {
+    let state = ixp_obsd::ServerState::new(obs.registry.clone(), journal.clone(), board.clone());
+    match ixp_obsd::Server::bind(addr, state) {
+        Ok(server) => {
+            match server.local_addr() {
+                // To stderr (unbuffered): ci.sh polls the log for this
+                // line to learn the ephemeral port before fetching.
+                Ok(local) => eprintln!("obsd: serving on {local}"),
+                Err(e) => eprintln!("obsd: serving (local addr unavailable: {e})"),
+            }
+            Some(std::thread::spawn(move || {
+                if let Err(e) = server.serve() {
+                    eprintln!("obsd: serve loop ended: {e}");
+                }
+            }))
+        }
+        Err(e) => {
+            eprintln!("obsd: binding {addr} denied: {e}; continuing without exposition");
+            None
+        }
+    }
+}
+
+/// Where a conservation-breach flight dump lands: next to the checkpoint
+/// when one is in play, next to the metrics snapshot otherwise.
+fn flight_path(args: &Args) -> String {
+    match &args.checkpoint {
+        Some(path) => format!("{path}.flight"),
+        None => format!("{}.flight", args.metrics),
+    }
+}
+
+/// Seal the journal tail to `path` — the crash flight recorder write.
+fn write_flight(path: &str, journal: &ixp_obs::Journal) {
+    std::fs::write(path, journal.dump_flight(FLIGHT_TAIL)).expect("write flight dump");
+}
+
+/// The end-of-run conservation audit. A breach has already bumped the
+/// counter and journaled an `audit_breach` event; here it also seals the
+/// flight dump and fails the run.
+fn final_audit(
+    args: &Args,
+    journal: &ixp_obs::Journal,
+    board: &ixp_obsd::Board,
+    auditor: &ixp_obs::Auditor,
+) {
+    match auditor.run(ixp_obs::AuditScope::Final) {
+        Ok(()) => {
+            board.publish_audit(auditor.breaches(), "pass");
+            eprintln!("conservation audit: pass ({} breaches)", auditor.breaches());
+        }
+        Err(e) => {
+            board.publish_audit(auditor.breaches(), "breach");
+            let side = flight_path(args);
+            write_flight(&side, journal);
+            eprintln!("conservation audit BREACH: {e} — flight dump written to {side}");
+            std::process::exit(4);
+        }
+    }
+}
+
+fn full_study(args: &Args, obs: &Obs) {
     let t0 = Stopwatch::start(obs.clock.as_ref());
     let secs = |sw: &Stopwatch| sw.elapsed_ns(obs.clock.as_ref()) as f64 / 1e9;
     eprintln!("generating model (scale={}, seed={}) ...", args.scale_name, args.seed);
@@ -200,13 +327,13 @@ fn main() {
 
     e1_fig1(&mut out, reference);
     e2_fig2(&mut out, reference);
-    e3_table1(&mut out, reference, model, &args.scale, &obs);
+    e3_table1(&mut out, reference, model, &args.scale, obs);
     e4_fig3(&mut out, reference, model);
-    e5_table2(&mut out, reference, model, &obs);
-    e6_table3(&mut out, reference, &obs);
+    e5_table2(&mut out, reference, model, obs);
+    e6_table3(&mut out, reference, obs);
     e7_serverid(&mut out, reference);
     e8_metadata(&mut out, reference);
-    e9_to_e12_longitudinal(&mut out, &study, &obs);
+    e9_to_e12_longitudinal(&mut out, &study, obs);
     e13_https(&mut out, &study);
     e14_ec2(&mut out, &study);
     e15_sandy(&mut out, &study);
@@ -227,8 +354,6 @@ fn main() {
         std::fs::write(path, out.md).expect("write markdown");
         eprintln!("wrote {path}");
     }
-
-    write_snapshots(&args, &obs);
 }
 
 /// Export the run's observability snapshot. Sorted + integer-only, so
@@ -247,8 +372,9 @@ fn write_snapshots(args: &Args, obs: &Obs) {
         snapshot.entries.len()
     );
     if let Some(path) = &args.prometheus {
-        std::fs::write(path, ixp_obs::prometheus::render(&snapshot))
-            .expect("write prometheus exposition");
+        let text = ixp_obs::prometheus::render(&snapshot)
+            .unwrap_or_else(|e| panic!("prometheus exposition refused: {e}"));
+        std::fs::write(path, text).expect("write prometheus exposition");
         eprintln!("wrote prometheus exposition to {path}");
     }
 }
@@ -259,7 +385,14 @@ fn write_snapshots(args: &Args, obs: &Obs) {
 /// sealed checkpoint, or resuming from one. A resumed run replays the
 /// regenerated feed from its cursor and ends byte-identical — report,
 /// checkpoint, and metrics snapshot — to a run that was never killed.
-fn supervised_mode(args: &Args, obs: &Obs) {
+/// Returns `true` when the week completed (false: killed at `--kill-at`).
+fn supervised_mode(
+    args: &Args,
+    obs: &Obs,
+    journal: &ixp_obs::Journal,
+    board: &ixp_obsd::Board,
+    auditor: &ixp_obs::Auditor,
+) -> bool {
     use ixp_supervisor::{Supervisor, SupervisorConfig};
 
     let t0 = Stopwatch::start(obs.clock.as_ref());
@@ -276,8 +409,20 @@ fn supervised_mode(args: &Args, obs: &Obs) {
     let mut sup = match &args.resume {
         Some(path) => {
             let bytes = std::fs::read(path).expect("read checkpoint file");
-            let mut sup = Supervisor::restore(&bytes, config)
-                .unwrap_or_else(|e| panic!("refusing to resume from {path}: {e}"));
+            let mut sup = match Supervisor::restore(&bytes, config) {
+                Ok(sup) => sup,
+                Err(e) => {
+                    // Fail closed, and leave the flight recorder's
+                    // account of the rejection next to the rejected file.
+                    journal.record(ixp_obs::EventKind::RestoreRejected, 0, 0, 0, 0);
+                    let side = format!("{path}.flight");
+                    write_flight(&side, journal);
+                    eprintln!(
+                        "refusing to resume from {path}: {e} — flight dump written to {side}"
+                    );
+                    std::process::exit(3);
+                }
+            };
             sup.bind_obs(obs);
             eprintln!("  resumed from {path} at offered datagram {}", sup.offered());
             sup
@@ -291,15 +436,43 @@ fn supervised_mode(args: &Args, obs: &Obs) {
             )
         }
     };
+    sup.bind_journal(journal.clone());
+
+    // A steady-state audit breach mid-run is fatal: seal the flight dump
+    // and exit, so the journal tail names the moment the ledger broke.
+    let audit_steady = |offered: u64| {
+        if offered % AUDIT_EVERY != 0 {
+            return;
+        }
+        if let Err(e) = auditor.run(ixp_obs::AuditScope::Steady) {
+            let side = flight_path(args);
+            write_flight(&side, journal);
+            eprintln!(
+                "conservation audit BREACH at offered datagram {offered}: {e} — flight dump written to {side}"
+            );
+            std::process::exit(4);
+        }
+    };
 
     let mut transport = if args.transport == "none" {
         None
     } else {
-        Some(transport_front_end(args, obs))
+        Some(transport_front_end(args, obs, journal))
     };
     let done = match &mut transport {
         None => obs.time(&stage_metric("scan"), || {
-            sup.run_feed(analyzer.feed(week), args.kill_at)
+            // As `Supervisor::run_feed`, plus the periodic conservation
+            // audit at datagram boundaries.
+            let skip = usize::try_from(sup.offered()).unwrap_or(usize::MAX);
+            for dg in analyzer.feed(week).skip(skip) {
+                if args.kill_at.is_some_and(|k| sup.offered() >= k) {
+                    return false;
+                }
+                sup.offer(dg);
+                audit_steady(sup.offered());
+            }
+            sup.finish();
+            true
         }),
         Some(intake) => obs.time(&stage_metric("scan"), || {
             // The week's sFlow feed rides the transport intake into the
@@ -316,12 +489,15 @@ fn supervised_mode(args: &Args, obs: &Obs) {
                         sup.offer(datagram);
                     }
                 }
+                audit_steady(sup.offered());
             }
             sup.finish();
             true
         }),
     };
     if !done {
+        // The flight recorder's last word: where the kill landed.
+        journal.record(ixp_obs::EventKind::Kill, 0, 0, sup.offered(), sup.stats().ticks);
         let path = args
             .checkpoint
             .as_deref()
@@ -332,12 +508,14 @@ fn supervised_mode(args: &Args, obs: &Obs) {
             std::fs::write(&side, intake.save_state()).expect("write transport state file");
             eprintln!("  transport state written to {side}");
         }
+        let flight = format!("{path}.flight");
+        write_flight(&flight, journal);
         eprintln!(
-            "  killed at offered datagram {} ({:.1}s) — checkpoint written to {path}",
+            "  killed at offered datagram {} ({:.1}s) — checkpoint written to {path}, flight dump to {flight}",
             sup.offered(),
             secs(&t0)
         );
-        return;
+        return false;
     }
     if let Some(path) = &args.checkpoint {
         std::fs::write(path, sup.checkpoint()).expect("write checkpoint file");
@@ -346,6 +524,13 @@ fn supervised_mode(args: &Args, obs: &Obs) {
 
     let stats = sup.stats();
     let health = sup.scan().ingest_health();
+    // Publish the per-agent health board for `/healthz` before the
+    // supervisor is consumed for the report.
+    let health_rows: Vec<((u32, u32), &'static str)> =
+        sup.health_states().into_iter().map(|(key, state)| (key, state.as_str())).collect();
+    let rows: Vec<(u32, u32, &str)> =
+        health_rows.iter().map(|((agent, sub), state)| (*agent, *sub, *state)).collect();
+    board.publish_agents(&rows);
     let report = analyzer.report_from_scan(sup.into_scan());
     let t1 = visibility::table1(&report.snapshot);
     println!("supervised week {} complete at {:.1}s", week.0, secs(&t0));
@@ -398,7 +583,9 @@ fn supervised_mode(args: &Args, obs: &Obs) {
             if intake.fully_accounted() { "holds" } else { "VIOLATED" }
         );
     }
+    final_audit(args, journal, board, auditor);
     write_snapshots(args, obs);
+    true
 }
 
 /// Stable peer identity the supervised mode uses when it offers the
@@ -411,7 +598,11 @@ const SFLOW_PEER: u64 = 0x5F10;
 /// or received over a loopback UDP socket from `flowgen`. A resumed run
 /// restores the intake (flow phase included) from the side file the
 /// killed run wrote and skips the phase.
-fn transport_front_end(args: &Args, obs: &Obs) -> ixp_transport::TransportIntake {
+fn transport_front_end(
+    args: &Args,
+    obs: &Obs,
+    journal: &ixp_obs::Journal,
+) -> ixp_transport::TransportIntake {
     use ixp_faults::{WireFaultConfig, WirePlan};
     use ixp_transport::{
         FlowGenConfig, Link as _, MemLink, TransportConfig, TransportIntake, TransportMetrics,
@@ -421,14 +612,25 @@ fn transport_front_end(args: &Args, obs: &Obs) -> ixp_transport::TransportIntake
     let restored = args.resume.as_deref().and_then(|path| {
         let side = format!("{path}.transport");
         let bytes = std::fs::read(&side).ok()?;
-        let intake = TransportIntake::restore_from(&bytes)
-            .unwrap_or_else(|e| panic!("refusing to resume transport state from {side}: {e}"));
+        let intake = match TransportIntake::restore_from(&bytes) {
+            Ok(intake) => intake,
+            Err(e) => {
+                journal.record(ixp_obs::EventKind::RestoreRejected, 0, 1, 0, 0);
+                let flight = format!("{side}.flight");
+                write_flight(&flight, journal);
+                eprintln!(
+                    "refusing to resume transport state from {side}: {e} — flight dump written to {flight}"
+                );
+                std::process::exit(3);
+            }
+        };
         eprintln!("  transport state resumed from {side}");
         Some(intake)
     });
     let resumed = restored.is_some();
     let mut intake = restored.unwrap_or_else(|| TransportIntake::new(TransportConfig::default()));
     intake.bind_metrics(TransportMetrics::register(&obs.registry));
+    intake.bind_journal(journal.clone());
     if resumed {
         return intake;
     }

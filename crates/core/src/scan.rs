@@ -711,6 +711,14 @@ impl WeekScan {
         self.tally.replay(&m);
         self.dissect = m;
     }
+
+    /// Attach an event journal to the collector front-end so source
+    /// restarts and quarantines become flight-recorder events (see
+    /// `Collector::bind_journal`). Journal state is live-run evidence and
+    /// is never checkpointed or replayed.
+    pub fn bind_journal(&mut self, journal: ixp_obs::journal::Journal) {
+        self.collector.bind_journal(journal);
+    }
 }
 
 fn set_port_bit(e: &mut Evidence, port: u16) {

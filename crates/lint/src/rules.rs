@@ -6,7 +6,7 @@
 //!
 //! | rule            | family | scope                                         |
 //! |-----------------|--------|-----------------------------------------------|
-//! | `no-unwrap`     | L1     | stream-facing crates (`ixp-wire`, `ixp-sflow`, `ixp-faults`, `ixp-supervisor`) |
+//! | `no-unwrap`     | L1     | stream-facing crates (`ixp-wire`, `ixp-sflow`, `ixp-faults`, `ixp-supervisor`, `ixp-transport`, `ixp-obsd`) |
 //! | `no-expect`     | L1     | stream-facing crates                          |
 //! | `no-panic`      | L1     | stream-facing crates (`panic!`/`todo!`/`unimplemented!`) |
 //! | `no-unreachable`| L1     | stream-facing crates                          |
@@ -447,13 +447,16 @@ pub fn resolve_rule(name: &str) -> Option<Vec<&'static str>> {
 /// the supervisor (which decodes checkpoint images that may be
 /// truncated or corrupted by the very crash they are recovering from),
 /// and the wire transport (UDP front door plus the NetFlow v5/v9/IPFIX
-/// decoders, which parse attacker-grade bytes straight off the socket).
+/// decoders, which parse attacker-grade bytes straight off the socket),
+/// and the exposition server (which parses HTTP request bytes from any
+/// client that can reach the socket).
 pub(crate) fn l1_applies(path: &str) -> bool {
     path.starts_with("crates/wire/src/")
         || path.starts_with("crates/sflow/src/")
         || path.starts_with("crates/faults/src/")
         || path.starts_with("crates/supervisor/src/")
         || path.starts_with("crates/transport/src/")
+        || path.starts_with("crates/obsd/src/")
 }
 
 /// L2 scope: modules that aggregate counters and must not silently truncate.

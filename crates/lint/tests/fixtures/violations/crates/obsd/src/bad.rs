@@ -1,0 +1,5 @@
+//! L1 fixture: an HTTP request parser must not expect on request bytes.
+
+pub fn request_path(line: &str) -> &str {
+    line.split(' ').nth(1).expect("request path")
+}

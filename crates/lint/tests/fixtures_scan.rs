@@ -30,6 +30,7 @@ fn violations_tree_reports_every_rule_exactly() {
         ("crates/gamma/src/lib.rs", 39, "atomic-ordering"),
         ("crates/gamma/src/lib.rs", 47, "order-dependent-merge"),
         ("crates/gamma/src/lib.rs", 48, "order-dependent-merge"),
+        ("crates/obsd/src/bad.rs", 4, "no-expect"),
         ("crates/sflow/src/accounting.rs", 2, "no-narrow-cast"),
         ("crates/sflow/src/sink.rs", 13, "error-sink"),
         ("crates/sflow/src/sink.rs", 14, "error-sink"),

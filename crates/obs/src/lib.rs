@@ -14,13 +14,20 @@
 //! * two exporters over the same deterministic [`Snapshot`]:
 //!   [`prometheus::render`] (text exposition) and [`json::render`]
 //!   (schema-versioned document, `target/metrics-snapshot.json` in
-//!   `repro`).
+//!   `repro`);
+//! * the live observability plane (DESIGN.md §13): a bounded
+//!   deterministic event [`Journal`] with an `ixp-trace/1` export and a
+//!   sealed binary flight record for post-mortems, and the runtime
+//!   conservation [`Auditor`] re-checking the L9 ledger identities
+//!   against live metric families.
 //!
 //! The crate is dependency-free and panic-free: it is linked into the
 //! decoders' hot loops, which the workspace lint holds to a transitive
 //! no-panic contract.
 
+pub mod audit;
 pub mod clock;
+pub mod journal;
 pub mod json;
 pub mod metrics;
 pub mod prometheus;
@@ -28,11 +35,14 @@ pub mod span;
 
 use std::sync::Arc;
 
+pub use audit::{AuditError, AuditScope, Auditor, Invariant};
 pub use clock::{real_clock, test_clock, Clock, RealClock, TestClock};
+pub use journal::{Event, EventKind, FlightError, Journal, TraceError};
 pub use metrics::{
     split_name, Counter, Gauge, Histogram, HistogramSnapshot, MetricValue, Registry,
     Snapshot, DURATION_BOUNDS_NS,
 };
+pub use prometheus::RenderError;
 pub use span::Stopwatch;
 
 /// The observability bundle instrumented components carry: a shared

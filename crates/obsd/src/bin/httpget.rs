@@ -1,0 +1,52 @@
+//! Tiny std `TcpStream` HTTP/1.1 client for the exposition smoke in
+//! `scripts/ci.sh`: `httpget <addr> <path>` fetches `http://<addr><path>`,
+//! writes the response body to stdout, and exits nonzero unless the
+//! status is 200 — so CI never depends on an external curl being
+//! installed to drive the `ixp-obsd` endpoints.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(addr), Some(path)) = (args.next(), args.next()) else {
+        eprintln!("usage: httpget <addr> <path>");
+        return ExitCode::from(2);
+    };
+    match fetch(&addr, &path) {
+        Ok(body) => {
+            let mut out = std::io::stdout();
+            if out.write_all(&body).and_then(|()| out.flush()).is_err() {
+                return ExitCode::from(1);
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("httpget: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+/// One full request/response cycle. The server closes the connection
+/// after answering (no keep-alive), so reading to EOF is the framing.
+fn fetch(addr: &str, path: &str) -> Result<Vec<u8>, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes()).map_err(|e| format!("send: {e}"))?;
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).map_err(|e| format!("recv: {e}"))?;
+    let header_end = response
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| "response has no header terminator".to_string())?;
+    let head = response.get(..header_end).unwrap_or(&[]);
+    let head = std::str::from_utf8(head).map_err(|_| "response head is not UTF-8".to_string())?;
+    let status = head.lines().next().unwrap_or("");
+    if status != "HTTP/1.1 200 OK" {
+        return Err(format!("unexpected status line {status:?}"));
+    }
+    let body_start = header_end.saturating_add(4);
+    Ok(response.get(body_start..).unwrap_or(&[]).to_vec())
+}

@@ -30,6 +30,7 @@ use std::collections::HashMap;
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
+use ixp_obs::journal::{EventKind, Journal};
 use ixp_obs::{test_clock, Clock, Obs, Stopwatch};
 
 use crate::accounting::TrafficEstimate;
@@ -260,6 +261,10 @@ pub struct Collector {
     latency_samples: u64,
     metrics: CollectorMetrics,
     clock: Arc<dyn Clock>,
+    // Disabled unless attached via [`Collector::bind_journal`]: restart
+    // and quarantine detections then become journal events for the
+    // flight recorder. Journal state is not checkpointed.
+    journal: Journal,
 }
 
 impl Default for Collector {
@@ -276,6 +281,7 @@ impl Default for Collector {
             latency_samples: 0,
             metrics: CollectorMetrics::detached(),
             clock: test_clock(),
+            journal: Journal::disabled(),
         }
     }
 }
@@ -334,6 +340,13 @@ impl Collector {
                             src.stats.quarantined = true;
                             self.agg.quarantined += 1;
                             self.metrics.quarantined_sources.set_max(self.agg.quarantined);
+                            self.journal.record(
+                                EventKind::SourceQuarantined,
+                                u64::from(u32::from(key.agent)),
+                                u64::from(key.sub_agent),
+                                u64::from(src.error_run),
+                                0,
+                            );
                         }
                         self.publish_source_count();
                     }
@@ -376,6 +389,13 @@ impl Collector {
                 self.agg.restarts += 1;
                 self.agg.accepted += 1;
                 self.metrics.restarts.inc();
+                self.journal.record(
+                    EventKind::SourceRestart,
+                    u64::from(u32::from(key.agent)),
+                    u64::from(key.sub_agent),
+                    self.agg.restarts,
+                    0,
+                );
             } else {
                 // Forward jump of `ahead`: the `ahead − 1` sequence numbers
                 // in between are (so far) lost.
@@ -430,6 +450,13 @@ impl Collector {
         self.agg.restarts += 1;
         self.agg.accepted += 1;
         self.metrics.restarts.inc();
+        self.journal.record(
+            EventKind::SourceRestart,
+            u64::from(u32::from(key.agent)),
+            u64::from(key.sub_agent),
+            self.agg.restarts,
+            0,
+        );
         self.track_counters(&dg);
         Ingest::Accepted(dg)
     }
@@ -684,6 +711,13 @@ impl Collector {
             return Err(StateError::Invalid("loss accounting does not balance"));
         }
         Ok(c)
+    }
+
+    /// Attach an event journal: restart detections and quarantine firings
+    /// are recorded for the flight recorder. Past events are not
+    /// replayed — the journal is live-run evidence, not state.
+    pub fn bind_journal(&mut self, journal: Journal) {
+        self.journal = journal;
     }
 
     /// Attach a restored collector to live instrumentation: register the

@@ -15,6 +15,7 @@ use std::collections::BTreeMap;
 
 use ixp_core::WeekScan;
 use ixp_netmodel::Week;
+use ixp_obs::journal::{EventKind, Journal};
 use ixp_obs::Obs;
 use ixp_sflow::checkpoint::{self, Cur, StateError};
 
@@ -114,6 +115,10 @@ pub struct Supervisor {
     prev: BTreeMap<(u32, u32), PrevStats>,
     health: BTreeMap<(u32, u32), AgentHealth>,
     metrics: SupervisorMetrics,
+    // Disabled unless attached via [`Supervisor::bind_journal`]. Not
+    // part of a checkpoint: the journal is live evidence of *this*
+    // process's run, exactly what a flight record must show.
+    journal: Journal,
 }
 
 impl Supervisor {
@@ -132,6 +137,7 @@ impl Supervisor {
             prev: BTreeMap::new(),
             health: BTreeMap::new(),
             metrics: SupervisorMetrics::detached(),
+            journal: Journal::disabled(),
         }
     }
 
@@ -166,6 +172,29 @@ impl Supervisor {
     /// Current health state of one `(agent, sub_agent)` source.
     pub fn health_of(&self, agent: u32, sub_agent: u32) -> Option<HealthState> {
         self.health.get(&(agent, sub_agent)).map(AgentHealth::state)
+    }
+
+    /// Every source's current health state, in ascending key order (the
+    /// `/healthz` endpoint's rows).
+    pub fn health_states(&self) -> Vec<((u32, u32), HealthState)> {
+        self.health.iter().map(|(k, h)| (*k, h.state())).collect()
+    }
+
+    /// Attach an event journal: tick boundaries, shed decisions, and
+    /// health transitions are recorded from here on, and the nested
+    /// scan's collector journals its restart/quarantine detections into
+    /// the same ring. Call after construction or restore; past events
+    /// are not replayed (the journal is live-run evidence, not state).
+    pub fn bind_journal(&mut self, journal: Journal) {
+        self.scan.bind_journal(journal.clone());
+        journal.set_tick(self.ticks);
+        self.journal = journal;
+    }
+
+    /// The attached journal (disabled unless [`Supervisor::bind_journal`]
+    /// was called), for flight dumps at fault points.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
     }
 
     /// Aggregate supervisor counters.
@@ -205,6 +234,7 @@ impl Supervisor {
         } else {
             self.scan.record_shed(1);
             self.metrics.shed.inc();
+            self.journal.record(EventKind::Shed, 0, 0, 1, self.ring.shed());
         }
         if self.offered.is_multiple_of(self.config.arrivals_per_tick) {
             self.tick();
@@ -248,11 +278,16 @@ impl Supervisor {
     fn tick(&mut self) {
         self.ticks += 1;
         self.metrics.ticks.inc();
+        self.journal.set_tick(self.ticks);
+        self.journal.record(EventKind::TickStart, 0, 0, self.offered, 0);
+        let mut drained = 0u64;
+        let mut missed = false;
         if self.stalled {
             // The drain stage is wedged: it consumes none of its budget,
             // which by definition misses the deadline.
             self.deadline_misses += 1;
             self.metrics.deadline_misses.inc();
+            missed = true;
         } else {
             let mut budget = self.config.drain_budget;
             while budget > 0 {
@@ -260,6 +295,7 @@ impl Supervisor {
                     Some(datagram) => {
                         self.scan.ingest(&datagram);
                         budget -= 1;
+                        drained += 1;
                     }
                     None => break,
                 }
@@ -267,9 +303,11 @@ impl Supervisor {
             if !self.ring.is_empty() {
                 self.deadline_misses += 1;
                 self.metrics.deadline_misses.inc();
+                missed = true;
             }
         }
         self.watchdog();
+        self.journal.record(EventKind::TickEnd, 0, 0, drained, u64::from(missed));
     }
 
     /// One watchdog pass: diff every source's collector stats against the
@@ -303,11 +341,19 @@ impl Supervisor {
                 },
             );
             let agent = self.health.entry(key).or_default();
+            let before = agent.state();
             if let Some(next) = agent.observe(&delta, &self.config.policy) {
                 bump(&mut self.transitions, next.index());
                 if let Some(counter) = self.metrics.transitions.get(next.index()) {
                     counter.inc();
                 }
+                self.journal.record(
+                    EventKind::Transition,
+                    u64::from(key.0),
+                    u64::from(key.1),
+                    before.index() as u64,
+                    next.index() as u64,
+                );
             }
         }
         let mut counts = [0u64; 4];
@@ -427,6 +473,7 @@ impl Supervisor {
             prev,
             health,
             metrics: SupervisorMetrics::detached(),
+            journal: Journal::disabled(),
         })
     }
 

@@ -32,6 +32,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use ixp_obs::journal::{EventKind, Journal};
 use ixp_sflow::checkpoint::{put_bytes, put_u16, put_u32, put_u64, Cur, StateError};
 
 use crate::error::{DecodeFault, LinkError};
@@ -146,6 +147,7 @@ pub struct TransportIntake {
     seen: BTreeMap<(u64, u16, u32), VecDeque<u32>>,
     cache: TemplateCache,
     metrics: TransportMetrics,
+    journal: Journal,
 }
 
 impl TransportIntake {
@@ -201,6 +203,12 @@ impl TransportIntake {
         self.sync_metrics();
     }
 
+    /// Attach an event journal; template churn, sheds, parks, and
+    /// replays emit span events into it from here on.
+    pub fn bind_journal(&mut self, journal: Journal) {
+        self.journal = journal;
+    }
+
     fn sync_metrics(&self) {
         self.metrics.sync(&self.stats, self.cache.counts());
     }
@@ -212,6 +220,7 @@ impl TransportIntake {
         self.stats.offered += 1;
         if packet.len() > MAX_PACKET || self.inbox.len() >= self.config.inbox_capacity {
             self.stats.shed += 1;
+            self.journal.record(EventKind::Shed, peer, 0, 1, self.stats.shed);
             return false;
         }
         self.inbox.push_back((peer, packet.to_vec()));
@@ -245,11 +254,29 @@ impl TransportIntake {
     /// End of stream: everything still queued or parked is flushed into
     /// its terminal bucket so the final balance has no transient terms.
     pub fn finish(&mut self) -> TransportStats {
+        let mut flushed_inbox = 0u64;
         while self.inbox.pop_front().is_some() {
             self.stats.shed += 1;
+            flushed_inbox += 1;
         }
+        if flushed_inbox > 0 {
+            self.journal.record(EventKind::Shed, 0, 0, flushed_inbox, self.stats.shed);
+        }
+        let mut flushed_parked = 0u64;
         while self.parked.pop_front().is_some() {
             self.stats.template_missing_dropped += 1;
+            flushed_parked += 1;
+        }
+        if flushed_parked > 0 {
+            // Parked packets flushed unresolved at end of stream
+            // (`sub_agent = 1` distinguishes this from front-door sheds).
+            self.journal.record(
+                EventKind::Shed,
+                0,
+                1,
+                flushed_parked,
+                self.stats.template_missing_dropped,
+            );
         }
         self.stats.pending = 0;
         self.stats.pending_bytes = 0;
@@ -309,14 +336,17 @@ impl TransportIntake {
     /// Decode a template-described v9/IPFIX packet, parking it whole
     /// when its template has not arrived yet.
     fn ingest_templated(&mut self, peer: u64, packet: Vec<u8>, out: &mut Vec<Drained>) {
+        let counts_before = self.cache.counts();
         let d = match decode_templated(&packet, peer, &mut self.cache) {
             Ok(d) => d,
             Err(fault) => {
+                self.journal_template_churn(peer, counts_before);
                 self.count_fault(fault);
                 self.stats.decode_errors += 1;
                 return;
             }
         };
+        self.journal_template_churn(peer, counts_before);
         if self.seen_before(peer, d.version, d.domain, d.sequence) {
             self.stats.duplicates += 1;
             return;
@@ -339,13 +369,32 @@ impl TransportIntake {
         }
     }
 
+    /// Journal template installs/refreshes and evictions that happened
+    /// inside one `decode_templated` call, from the cache-count deltas.
+    fn journal_template_churn(&self, peer: u64, before: (u64, u64, u64)) {
+        if !self.journal.is_enabled() {
+            return;
+        }
+        let (installed, refreshed, evicted) = self.cache.counts();
+        let new_installed = installed.saturating_sub(before.0);
+        let new_refreshed = refreshed.saturating_sub(before.1);
+        let new_evicted = evicted.saturating_sub(before.2);
+        if new_installed > 0 || new_refreshed > 0 {
+            self.journal.record(EventKind::TemplateInstall, peer, 0, new_installed, new_refreshed);
+        }
+        if new_evicted > 0 {
+            self.journal.record(EventKind::TemplateEvict, peer, 0, new_evicted, 0);
+        }
+    }
+
     /// Replay parked packets after a template install, looping while
     /// replays keep resolving (a replayed packet may itself install).
     fn replay_parked(&mut self, out: &mut Vec<Drained>) {
+        let parked_before = self.parked.len() as u64;
         loop {
             let before = self.parked.len();
             if before == 0 {
-                return;
+                break;
             }
             let parked = std::mem::take(&mut self.parked);
             self.stats.pending = 0;
@@ -354,16 +403,25 @@ impl TransportIntake {
                 self.ingest_parked(peer, packet, out);
             }
             if self.parked.len() >= before {
-                return;
+                break;
             }
+        }
+        if parked_before > 0 {
+            let resolved = parked_before.saturating_sub(self.parked.len() as u64);
+            self.journal.record(EventKind::Replay, 0, 0, resolved, self.parked.len() as u64);
         }
     }
 
     /// Re-run one parked packet (already dedup-checked at park time).
     fn ingest_parked(&mut self, peer: u64, packet: Vec<u8>, out: &mut Vec<Drained>) {
+        let counts_before = self.cache.counts();
         let d = match decode_templated(&packet, peer, &mut self.cache) {
-            Ok(d) => d,
+            Ok(d) => {
+                self.journal_template_churn(peer, counts_before);
+                d
+            }
             Err(fault) => {
+                self.journal_template_churn(peer, counts_before);
                 // A parked packet can stop decoding if its template was
                 // refreshed to an incompatible layout in the meantime.
                 self.count_fault(fault);
@@ -393,11 +451,15 @@ impl TransportIntake {
         let len = packet.len() as u64;
         if self.stats.pending_bytes.saturating_add(len) > self.config.pending_byte_budget as u64 {
             self.stats.template_missing_dropped += 1;
+            // Dropped at the parking byte budget (`sub_agent = 1`
+            // distinguishes this from front-door sheds, as in `finish`).
+            self.journal.record(EventKind::Shed, peer, 1, 1, self.stats.template_missing_dropped);
             return;
         }
         self.stats.pending += 1;
         self.stats.pending_bytes = self.stats.pending_bytes.saturating_add(len);
         self.parked.push_back((peer, packet));
+        self.journal.record(EventKind::Park, peer, 0, self.stats.pending, self.stats.pending_bytes);
     }
 
     /// Record `fault` in its per-kind bucket (the caller bumps the sum).
@@ -647,6 +709,7 @@ impl TransportIntake {
             seen,
             cache,
             metrics: TransportMetrics::detached(),
+            journal: Journal::disabled(),
         };
         if stats.pending != intake.parked.len() as u64 {
             return Err(StateError::Invalid("pending count disagrees with parked packets"));
@@ -819,6 +882,51 @@ mod tests {
         assert_eq!(s.template_missing_dropped, 0);
         assert_eq!(s.accepted, 2);
         assert!(t.fully_accounted());
+    }
+
+    #[test]
+    fn journal_sees_park_replay_and_template_churn() {
+        let mut t = intake();
+        let journal = Journal::deterministic();
+        t.bind_journal(journal.clone());
+        let fields = netflow9::encode::flow_template_fields();
+        // Data-before-template parks; the template install replays it.
+        t.offer(1, &netflow9::encode::packet(1, 7, 260, None, &[rec(1)]));
+        t.drain(16);
+        t.offer(1, &netflow9::encode::packet(2, 7, 260, Some(&fields), &[]));
+        t.drain(16);
+        let kinds: Vec<EventKind> = journal.events().iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&EventKind::Park), "no park event: {kinds:?}");
+        assert!(kinds.contains(&EventKind::TemplateInstall), "no install event: {kinds:?}");
+        assert!(kinds.contains(&EventKind::Replay), "no replay event: {kinds:?}");
+        let replay = journal
+            .events()
+            .iter()
+            .rev()
+            .find(|e| e.kind == EventKind::Replay)
+            .copied()
+            .expect("replay event");
+        assert_eq!((replay.a, replay.b), (1, 0), "one packet resolved, none left parked");
+    }
+
+    #[test]
+    fn journal_sees_front_door_and_budget_sheds() {
+        let mut t = TransportIntake::new(TransportConfig {
+            inbox_capacity: 1,
+            pending_byte_budget: 1,
+            ..TransportConfig::default()
+        });
+        let journal = Journal::deterministic();
+        t.bind_journal(journal.clone());
+        t.offer(1, &v5(1, 1));
+        t.offer(1, &v5(2, 1)); // front-door shed (inbox full)
+        t.drain(16);
+        t.offer(2, &netflow9::encode::packet(1, 7, 260, None, &[rec(1)]));
+        t.drain(16); // budget shed (pending_byte_budget = 1)
+        let sheds: Vec<_> =
+            journal.events().iter().filter(|e| e.kind == EventKind::Shed).copied().collect();
+        assert!(sheds.iter().any(|e| e.sub_agent == 0), "no front-door shed: {sheds:?}");
+        assert!(sheds.iter().any(|e| e.sub_agent == 1), "no budget shed: {sheds:?}");
     }
 
     #[test]

@@ -63,7 +63,7 @@ fn main() {
     // clean baseline plus the degraded replay.
     println!();
     println!("collector metrics (prometheus exposition, sflow_* families):");
-    let exposition = prometheus::render(&obs.snapshot());
+    let exposition = prometheus::render(&obs.snapshot()).expect("uniform metric kinds");
     for line in exposition.lines().filter(|l| l.contains("sflow_")) {
         println!("  {line}");
     }

@@ -125,12 +125,38 @@ echo "==> supervised resume smoke test (checkpoint byte-identity)"
 # A supervised run killed at a datagram boundary and resumed from its
 # sealed checkpoint must write a metrics snapshot — and a final
 # checkpoint — byte-identical to the run that was never interrupted.
+# The same-seed byte-identity bar extends to the observability plane:
+# two whole runs export identical ixp-trace/1 documents, two killed runs
+# seal identical flight dumps, and every kill leaves a flight dump
+# beside its checkpoint.
 cargo run -q --release -p ixp-bench --bin repro -- --scale tiny \
-    --checkpoint target/ckpt-whole.bin \
+    --checkpoint target/ckpt-whole.bin --trace target/trace-whole-a.json \
     --metrics target/metrics-whole.json >/dev/null 2>&1
 cargo run -q --release -p ixp-bench --bin repro -- --scale tiny \
+    --checkpoint target/ckpt-whole-b.bin --trace target/trace-whole-b.json \
+    --metrics target/metrics-whole-b.json >/dev/null 2>&1
+cmp target/trace-whole-a.json target/trace-whole-b.json || {
+    echo "ci: event-journal traces differ between same-seed runs" >&2
+    exit 1
+}
+cargo run -q --release -p ixp-bench --bin repro -- --scale tiny \
     --checkpoint target/ckpt-mid.bin --kill-at 400 \
-    --metrics target/metrics-killed.json >/dev/null 2>&1
+    --metrics target/metrics-killed.json > target/repro-killed.log 2>&1
+[ -f target/ckpt-mid.bin.flight ] || {
+    echo "ci: killed run left no flight dump beside its checkpoint" >&2
+    exit 1
+}
+grep -q "flight dump to " target/repro-killed.log || {
+    echo "ci: killed run did not report its flight dump (see target/repro-killed.log)" >&2
+    exit 1
+}
+cargo run -q --release -p ixp-bench --bin repro -- --scale tiny \
+    --checkpoint target/ckpt-mid-b.bin --kill-at 400 \
+    --metrics target/metrics-killed-b.json >/dev/null 2>&1
+cmp target/ckpt-mid.bin.flight target/ckpt-mid-b.bin.flight || {
+    echo "ci: flight dumps differ between same-seed killed runs" >&2
+    exit 1
+}
 cargo run -q --release -p ixp-bench --bin repro -- --scale tiny \
     --resume target/ckpt-mid.bin --checkpoint target/ckpt-resumed.bin \
     --metrics target/metrics-resumed.json >/dev/null 2>&1
@@ -217,6 +243,86 @@ if cargo run -q --release -p ixp-bench --bin flowgen -- --probe \
     echo "ci: UDP loopback smoke passed ($addr)"
 else
     echo "ci: UDP loopback denied here ($(cat target/flowgen-probe.log)); in-memory transport smoke stands in"
+fi
+
+echo "==> obsd exposition smoke (loopback HTTP when permitted)"
+# When this environment allows loopback TCP, exercise the exposition
+# server end to end: a supervised run with --serve must answer all four
+# endpoints with their declared schemas, report a clean conservation
+# audit on /healthz, serve a /trace byte-identical to the --trace file
+# it wrote, and exit 0 on GET /quit. Where sockets are denied the server
+# logs the denial and the run continues — the obsd unit and property
+# tests stand in, so log the reason and move on. The fetches go through
+# the workspace's own std TcpStream client (crates/obsd/src/bin/httpget)
+# so this gate never depends on an external curl.
+httpget() {
+    cargo run -q --release -p ixp-obsd --bin httpget -- "$@"
+}
+: > target/obsd-smoke.log
+cargo run -q --release -p ixp-bench --bin repro -- --scale tiny \
+    --transport memory --checkpoint target/obsd-ckpt.bin \
+    --trace target/obsd-trace.json --serve 127.0.0.1:0 \
+    > target/obsd-smoke.log 2>&1 &
+obsd_pid=$!
+obsd_addr=""
+for _ in $(seq 1 100); do
+    obsd_addr=$(sed -n 's/^obsd: serving on //p' target/obsd-smoke.log | head -n 1)
+    [ -n "$obsd_addr" ] && break
+    grep -q "^obsd: binding .* denied" target/obsd-smoke.log && break
+    sleep 0.2
+done
+if grep -q "^obsd: binding .* denied" target/obsd-smoke.log; then
+    wait "$obsd_pid" || true
+    echo "ci: loopback TCP denied here ($(sed -n 's/^obsd: //p' target/obsd-smoke.log | head -n 1)); obsd unit tests stand in"
+elif [ -z "$obsd_addr" ]; then
+    kill "$obsd_pid" 2>/dev/null || true
+    echo "ci: repro --serve never reported an address (see target/obsd-smoke.log)" >&2
+    exit 1
+else
+    # Fetch after the run completes so /healthz carries the final audit
+    # verdict and /trace the full journal.
+    for _ in $(seq 1 150); do
+        grep -q "serving until GET /quit" target/obsd-smoke.log && break
+        sleep 0.2
+    done
+    httpget "$obsd_addr" /metrics > target/obsd-metrics.txt
+    httpget "$obsd_addr" /metrics.json > target/obsd-metrics.json
+    httpget "$obsd_addr" /healthz > target/obsd-healthz.json
+    httpget "$obsd_addr" /trace > target/obsd-trace-live.json
+    grep -q "obs_audit_breaches_total 0" target/obsd-metrics.txt || {
+        echo "ci: /metrics missing a zero obs_audit_breaches_total" >&2
+        exit 1
+    }
+    grep -q '"schema": "ixp-obs/1"' target/obsd-metrics.json || {
+        echo "ci: /metrics.json does not declare schema ixp-obs/1" >&2
+        exit 1
+    }
+    grep -q '"schema": "ixp-health/1"' target/obsd-healthz.json || {
+        echo "ci: /healthz does not declare schema ixp-health/1" >&2
+        exit 1
+    }
+    grep -q '"status": "ok"' target/obsd-healthz.json || {
+        echo "ci: /healthz does not report status ok" >&2
+        exit 1
+    }
+    grep -q '"audit_verdict": "pass"' target/obsd-healthz.json || {
+        echo "ci: /healthz does not report a passing conservation audit" >&2
+        exit 1
+    }
+    grep -q '"schema": "ixp-trace/1"' target/obsd-trace-live.json || {
+        echo "ci: /trace does not declare schema ixp-trace/1" >&2
+        exit 1
+    }
+    cmp target/obsd-trace-live.json target/obsd-trace.json || {
+        echo "ci: /trace differs from the --trace file the same run wrote" >&2
+        exit 1
+    }
+    httpget "$obsd_addr" /quit >/dev/null
+    wait "$obsd_pid" || {
+        echo "ci: repro --serve exited nonzero (see target/obsd-smoke.log)" >&2
+        exit 1
+    }
+    echo "ci: obsd HTTP smoke passed ($obsd_addr)"
 fi
 
 if cargo clippy --version >/dev/null 2>&1 && [ -z "${IXP_CI_OFFLINE:-}" ]; then

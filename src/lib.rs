@@ -5,6 +5,7 @@ pub use ixp_dns as dns;
 pub use ixp_faults as faults;
 pub use ixp_netmodel as netmodel;
 pub use ixp_obs as obs;
+pub use ixp_obsd as obsd;
 pub use ixp_sflow as sflow;
 pub use ixp_supervisor as supervisor;
 pub use ixp_traffic as traffic;

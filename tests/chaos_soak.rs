@@ -120,6 +120,56 @@ fn kill_and_resume_recovers_byte_identically() {
     }
 }
 
+/// Every injected kill leaves a flight dump beside the checkpoint — the
+/// sealed tail of the event journal — that parses fail-closed and whose
+/// last event names the killed offset and tick count, exactly what a
+/// post-mortem needs. A bit-flipped dump is rejected with a typed error.
+#[test]
+fn every_kill_leaves_a_parseable_flight_dump() {
+    use ixp_vantage::obs::journal::{self, EventKind};
+
+    let feed = faulted_feed();
+    let dir = std::env::temp_dir().join(format!("ixp-chaos-flight-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    for kill_at in chaos::kill_offsets(SEED, feed.len() as u64, 4) {
+        let journal = ixp_vantage::obs::Journal::deterministic();
+        let mut killed = fresh(None);
+        killed.bind_journal(journal.clone());
+        let done = killed.run_feed(feed.iter().cloned(), Some(kill_at));
+        assert!(!done, "kill offset {kill_at} was never reached");
+
+        // As the repro binary's kill path: record the kill edge, then dump
+        // the journal tail to `<checkpoint>.flight`.
+        journal.record(EventKind::Kill, 0, 0, killed.offered(), killed.stats().ticks);
+        let path = dir.join(format!("kill-{kill_at}.ckpt.flight"));
+        std::fs::write(&path, journal.dump_flight(64)).unwrap();
+        assert!(path.is_file(), "flight dump missing after kill at {kill_at}");
+
+        let bytes = std::fs::read(&path).unwrap();
+        let events = journal::parse_flight(&bytes)
+            .unwrap_or_else(|e| panic!("flight dump after kill at {kill_at}: {e}"));
+        let tail = events.last().expect("flight dump holds the journal tail");
+        assert_eq!(tail.kind, EventKind::Kill, "tail must be the kill edge");
+        assert_eq!(tail.a, kill_at, "flight tail must name the killed offset");
+        // The dump explains the failure: supervisor activity precedes it.
+        assert!(
+            events.iter().any(|e| matches!(e.kind, EventKind::TickStart | EventKind::TickEnd)),
+            "flight dump carries no tick context for kill at {kill_at}"
+        );
+
+        // A damaged dump is rejected with a typed error, never a panic.
+        let mut flipped = bytes.clone();
+        chaos::flip_bit(&mut flipped, kill_at);
+        let err = journal::parse_flight(&flipped)
+            .err()
+            .unwrap_or_else(|| panic!("bit-flipped flight dump (kill {kill_at}) parsed"));
+        assert!(!err.to_string().is_empty());
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Corrupted and truncated checkpoint images are rejected with a typed
 /// error — a restore either succeeds completely or fails closed; it never
 /// panics and never yields a half-restored pipeline.

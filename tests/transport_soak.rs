@@ -277,6 +277,65 @@ fn overload_sheds_visibly_never_silently() {
     assert_eq!(s.offered, s.received + s.shed);
 }
 
+/// A mid-stream kill of the transport front-end leaves a flight dump
+/// whose tail names the cut, and whose body carries the transport-side
+/// journal traffic (template churn, parking, replay, sheds) that explains
+/// what the intake was doing when it died. Damaged dumps are rejected
+/// with a typed error.
+#[test]
+fn kill_leaves_a_flight_dump_naming_the_cut() {
+    use ixp_vantage::obs::journal::{self, EventKind};
+
+    let stream = faulted();
+    let kill_at = stream.len() / 2;
+    let journal = ixp_vantage::obs::Journal::deterministic();
+    let mut sup = Supervisor::new(WeekScan::new(Week::REFERENCE, members()), config());
+    sup.bind_journal(journal.clone());
+    let mut intake = TransportIntake::new(TransportConfig::default());
+    intake.bind_journal(journal.clone());
+
+    for (peer, packet) in stream.iter().take(kill_at) {
+        intake.offer(*peer, packet);
+        for unit in intake.drain(usize::MAX) {
+            if let Drained::Sflow { datagram, .. } = unit {
+                sup.offer(datagram);
+            }
+        }
+    }
+    // As the repro binary's transport kill path (`sub_agent` 1 marks the
+    // transport side), then the dump to `<state>.flight`. The whole ring
+    // goes into the dump here so the early template churn — parked during
+    // the opening withhold window — is retained alongside the kill edge.
+    journal.record(EventKind::Kill, 0, 1, kill_at as u64, sup.stats().ticks);
+    let dir = std::env::temp_dir().join(format!("ixp-transport-flight-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("transport.state.flight");
+    std::fs::write(&path, journal.dump_flight(journal::DEFAULT_CAPACITY)).unwrap();
+    assert!(path.is_file(), "flight dump missing after transport kill");
+
+    let bytes = std::fs::read(&path).unwrap();
+    let events = journal::parse_flight(&bytes).expect("flight dump parses");
+    let tail = events.last().expect("flight dump holds the journal tail");
+    assert_eq!(tail.kind, EventKind::Kill);
+    assert_eq!(tail.sub_agent, 1, "kill edge must name the transport side");
+    assert_eq!(tail.a, kill_at as u64, "flight tail must name the cut offset");
+    assert!(
+        events.iter().any(|e| matches!(
+            e.kind,
+            EventKind::TemplateInstall | EventKind::Park | EventKind::Replay | EventKind::Shed
+        )),
+        "flight dump carries no transport-side context: {events:?}"
+    );
+
+    let mut flipped = bytes.clone();
+    faults::chaos::flip_bit(&mut flipped, SEED);
+    let err = journal::parse_flight(&flipped)
+        .err()
+        .expect("bit-flipped flight dump must be rejected");
+    assert!(!err.to_string().is_empty());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn damaged_transport_state_fails_closed() {
     let state = run(None).transport_state;
